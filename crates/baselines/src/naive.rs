@@ -1,0 +1,65 @@
+//! The naive configurations of Figure 1: a single fixed instance type for
+//! every task, and Pegasus' default Random scheduler.
+
+use deco_cloud::{CloudSpec, Plan};
+use deco_prob::rng::split_indexed;
+use deco_workflow::Workflow;
+use rand::Rng;
+
+/// All tasks on one instance type, consolidated against the deadline (the
+/// "m1.small", "m1.medium", … bars of Figure 1).
+pub fn single_type_plan(
+    wf: &Workflow,
+    spec: &CloudSpec,
+    itype: usize,
+    region: usize,
+    deadline: f64,
+) -> Plan {
+    Plan::packed_deadline(wf, &vec![itype; wf.len()], region, spec, deadline)
+}
+
+/// Random instance type per task (Pegasus' default Random scheduler in the
+/// site-selection sense).
+pub fn random_types(wf: &Workflow, spec: &CloudSpec, seed: u64) -> Vec<usize> {
+    let mut rng = split_indexed(seed, 0x72616e64);
+    (0..wf.len()).map(|_| rng.gen_range(0..spec.k())).collect()
+}
+
+/// Random scheduler plan.
+pub fn random_plan(wf: &Workflow, spec: &CloudSpec, seed: u64, region: usize) -> Plan {
+    Plan::packed(wf, &random_types(wf, spec, seed), region, spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deco_workflow::generators;
+
+    #[test]
+    fn single_type_uses_only_that_type() {
+        let spec = CloudSpec::amazon_ec2();
+        let wf = generators::montage(1, 0);
+        let plan = single_type_plan(&wf, &spec, 2, 0, 1e9);
+        assert!(plan.slots.iter().all(|s| s.itype == 2));
+        plan.validate(&wf, &spec).unwrap();
+    }
+
+    #[test]
+    fn random_types_cover_the_catalog_eventually() {
+        let spec = CloudSpec::amazon_ec2();
+        let wf = generators::montage(4, 0);
+        let types = random_types(&wf, &spec, 42);
+        let distinct: std::collections::HashSet<_> = types.iter().collect();
+        assert_eq!(distinct.len(), spec.k(), "hundreds of draws hit all 4 types");
+        // Deterministic per seed.
+        assert_eq!(types, random_types(&wf, &spec, 42));
+        assert_ne!(types, random_types(&wf, &spec, 43));
+    }
+
+    #[test]
+    fn random_plan_validates() {
+        let spec = CloudSpec::amazon_ec2();
+        let wf = generators::montage(1, 0);
+        random_plan(&wf, &spec, 7, 0).validate(&wf, &spec).unwrap();
+    }
+}

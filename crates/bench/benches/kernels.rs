@@ -1,0 +1,64 @@
+//! Microbenchmarks of the computational kernels underneath the
+//! experiments: Monte-Carlo state evaluation, the WLog interpreter, plan
+//! packing, histogram convolution and the simulator.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use deco_cloud::{CloudSpec, MetadataStore, Plan};
+use deco_core::estimate::{mc_evaluate_plan, ExecTimeTable};
+use deco_prob::dist::Normal;
+use deco_prob::Histogram;
+use deco_wlog::machine::{Database, Machine};
+use deco_wlog::parser::{parse_clauses, parse_query};
+use deco_workflow::generators;
+
+fn kernels(c: &mut Criterion) {
+    let spec = CloudSpec::amazon_ec2();
+    let store = MetadataStore::from_ground_truth(spec.clone(), 30);
+    let wf = generators::montage(2, 1);
+    let table = ExecTimeTable::build(&wf, &store, 12);
+    let plan = Plan::packed(&wf, &vec![1; wf.len()], 0, &spec);
+
+    c.bench_function("mc_evaluate_plan_montage2_100iters", |b| {
+        b.iter(|| mc_evaluate_plan(&wf, &plan, &table, &spec, 2000.0, 0.9, 100, 7))
+    });
+
+    c.bench_function("plan_packing_montage2", |b| {
+        b.iter(|| Plan::packed(&wf, &vec![1; wf.len()], 0, &spec))
+    });
+
+    c.bench_function("simulator_run_montage2", |b| {
+        b.iter(|| deco_cloud::sim::run_plan(&spec, &wf, &plan, 3))
+    });
+
+    c.bench_function("histogram_convolve_40x40", |b| {
+        let h1 = Histogram::from_dist(&Normal::new(10.0, 2.0), 40, 4.0, None);
+        let h2 = Histogram::from_dist(&Normal::new(5.0, 1.0), 40, 4.0, None);
+        b.iter(|| h1.convolve(&h2))
+    });
+
+    c.bench_function("wlog_sld_resolution_ancestor", |b| {
+        let db_src = "
+            parent(a,b). parent(b,c). parent(c,d). parent(d,e).
+            anc(X,Y) :- parent(X,Y).
+            anc(X,Z) :- parent(X,Y), anc(Y,Z).";
+        let q = parse_query("anc(a,W)").unwrap();
+        b.iter_batched(
+            || {
+                let mut db = Database::new();
+                for cl in parse_clauses(db_src).unwrap() {
+                    db.assert(cl);
+                }
+                Machine::new(db)
+            },
+            |mut m| m.solve_all(&q).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("exec_time_table_build_montage2", |b| {
+        b.iter(|| ExecTimeTable::build(&wf, &store, 12))
+    });
+}
+
+criterion_group!(kernel_benches, kernels);
+criterion_main!(kernel_benches);

@@ -1,0 +1,72 @@
+//! Criterion benches: one benchmark per table/figure of the paper, timing
+//! the computational core of each experiment at quick scale. The
+//! `experiments` binary prints the corresponding rows/series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deco_bench::common::Env;
+use deco_bench::{ablation, ensemble_exp, figures, followcost_exp, scheduling_exp, speedup_exp, Scale};
+use std::time::Duration;
+
+fn quick(c: &mut Criterion, name: &str, mut f: impl FnMut()) {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    g.bench_function("run", |b| b.iter(&mut f));
+    g.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    let env = Env::new(Scale::Quick);
+    quick(c, "table2_calibration", || {
+        let _ = figures::table2(&env);
+    });
+    quick(c, "fig01_configs", || {
+        let _ = figures::fig1(&env);
+    });
+    quick(c, "fig02_variance", || {
+        let _ = figures::fig2(&env);
+    });
+    quick(c, "fig06_network", || {
+        let _ = figures::fig6(&env);
+    });
+    quick(c, "fig07_network_types", || {
+        let _ = figures::fig7(&env);
+    });
+    quick(c, "fig08_prob_deadline", || {
+        let _ = scheduling_exp::fig8(&env);
+    });
+    quick(c, "fig09_ensemble", || {
+        let _ = ensemble_exp::fig9(&env);
+    });
+    quick(c, "fig10_followcost", || {
+        let _ = followcost_exp::fig10(&env);
+    });
+    quick(c, "fig11_deadline_sensitivity", || {
+        let _ = scheduling_exp::fig11(&env);
+    });
+    quick(c, "speedup_scheduling", || {
+        let _ = speedup_exp::speedup_scheduling(&env);
+    });
+    quick(c, "speedup_ensemble_overhead", || {
+        let _ = speedup_exp::speedup_ensemble(&env);
+    });
+    quick(c, "ablation_prob_vs_det", || {
+        let _ = ablation::prob_vs_det(&env);
+    });
+    quick(c, "ablation_astar", || {
+        let _ = ablation::astar_vs_generic(&env);
+    });
+    quick(c, "ablation_explore", || {
+        let _ = ablation::explore_vs_exploit(&env);
+    });
+    quick(c, "ablation_mc_iters", || {
+        let _ = ablation::mc_iterations(&env);
+    });
+    quick(c, "ablation_ops", || {
+        let _ = ablation::operation_set(&env);
+    });
+}
+
+criterion_group!(paper, benches);
+criterion_main!(paper);

@@ -1,0 +1,94 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```sh
+//! cargo run --release -p deco-bench --bin experiments -- all
+//! cargo run --release -p deco-bench --bin experiments -- fig8 --quick
+//! ```
+//!
+//! Targets: table2, fig1, fig2, fig6, fig7, fig8, fig9, fig10, fig11,
+//! speedup-sched, speedup-ens, ablations, all. `--quick` shrinks the
+//! workloads (see `deco_bench::Scale`).
+
+use deco_bench::common::Env;
+use deco_bench::{ablation, ensemble_exp, figures, followcost_exp, scheduling_exp, speedup_exp, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let targets = if targets.is_empty() {
+        vec!["all"]
+    } else {
+        targets
+    };
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    eprintln!("# scale: {scale:?} — calibrating the cloud …");
+    let env = Env::new(scale);
+
+    let want = |name: &str| targets.contains(&name) || targets.contains(&"all");
+
+    if want("table2") {
+        println!("{}", figures::table2(&env));
+    }
+    if want("fig6") {
+        println!("{}", figures::fig6(&env).render());
+    }
+    if want("fig7") {
+        println!("{}", figures::fig7(&env).render());
+    }
+    if want("fig1") {
+        eprintln!("# running fig1 …");
+        println!("{}", figures::fig1(&env).render());
+    }
+    if want("fig2") {
+        eprintln!("# running fig2 …");
+        println!("{}", figures::fig2(&env).render());
+    }
+    if want("fig8") {
+        eprintln!("# running fig8 …");
+        println!("{}", scheduling_exp::fig8(&env).render());
+    }
+    if want("fig11") {
+        eprintln!("# running fig11 …");
+        println!("{}", scheduling_exp::fig11(&env).render());
+    }
+    if want("fig9") {
+        eprintln!("# running fig9 …");
+        let r = ensemble_exp::fig9(&env);
+        println!("{}", r.render());
+        println!(
+            "mean per-workflow cost ratio SPSS/Deco: {:.2} (paper: ~1.4)\n",
+            r.mean_cost_ratio()
+        );
+    }
+    if want("fig10") || want("fig10a") || want("fig10b") {
+        eprintln!("# running fig10 …");
+        println!("{}", followcost_exp::fig10(&env).render());
+    }
+    if want("speedup-sched") {
+        eprintln!("# running speedup-sched …");
+        println!(
+            "{}",
+            speedup_exp::speedup_scheduling(&env)
+                .render("Section 6.3.1: GPU vs CPU search speedups (scheduling)")
+        );
+    }
+    if want("speedup-ens") || want("overhead") {
+        eprintln!("# running speedup-ens …");
+        println!(
+            "{}",
+            speedup_exp::speedup_ensemble(&env)
+                .render("Section 6.3.2: GPU vs CPU speedups + per-task overhead (ensembles)")
+        );
+    }
+    if want("ablations") {
+        eprintln!("# running ablations …");
+        for a in ablation::all(&env) {
+            println!("{}", a.render());
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Figure 10: follow-the-cost — Deco vs the threshold Heuristic.
+
+use crate::common::{row, Env, ROOT_SEED};
+use deco_baselines::heuristic::FollowCostHeuristic;
+use deco_cloud::sim::{run_plan, run_with_policy};
+use deco_cloud::Plan;
+use deco_core::followcost::DecoFollowCost;
+use deco_prob::rng::splitmix64;
+use deco_workflow::generators;
+
+/// One policy's aggregate cost over a fleet of workflows.
+#[derive(Debug, Clone)]
+pub struct Fig10Row {
+    pub label: String,
+    pub heuristic_cost: f64,
+    pub deco_cost: f64,
+    /// Deco normalized to Heuristic (< 1 expected).
+    pub norm: f64,
+}
+
+#[derive(Debug, Clone)]
+pub struct Fig10Result {
+    pub by_size: Vec<Fig10Row>,
+    pub by_threshold: Vec<Fig10Row>,
+}
+
+/// The decision epoch of the runtime loop, seconds.
+const EPOCH: f64 = 600.0;
+
+/// Run one fleet: `n_workflows` Ligo workflows of `size` tasks, half
+/// initially deployed in each region, executed under the policy.
+///
+/// The paper's Figure 10 uses Montage; our Montage profiles give fleets
+/// whose instances are busy for about one hour each, at which point
+/// migration's instance-restart waste always exceeds the 33% price
+/// difference and *both* policies correctly stay put. Ligo's CPU-heavy
+/// multi-hour tasks are the regime where runtime migration actually pays,
+/// so the experiment fleets are Ligo-sized 20/100/1000 (standing in for
+/// Montage-1/4/8); EXPERIMENTS.md records the substitution.
+fn fleet_cost(env: &Env, size: usize, n_workflows: usize, threshold: Option<f64>, seed: u64) -> f64 {
+    let mut total = 0.0;
+    for i in 0..n_workflows {
+        let wf = generators::ligo(size, splitmix64(seed ^ i as u64));
+        let types = vec![0usize; wf.len()];
+        // Half the fleet starts in the pricey Singapore region (the paper
+        // randomizes the initial deployment across data centers).
+        let region = i % 2;
+        let plan = Plan::packed(&wf, &types, region, &env.spec);
+        let deadline = env.loose_deadline(&wf) * 4.0;
+        let run_seed = splitmix64(seed ^ (i as u64) << 17);
+        let cost = match threshold {
+            Some(th) => {
+                let mut policy = FollowCostHeuristic::new(&wf, env.spec.clone(), types, th);
+                run_with_policy(&env.spec, &wf, &plan, &mut policy, EPOCH, run_seed)
+                    .cost
+                    .total()
+            }
+            None => {
+                let mut policy = DecoFollowCost::new(env.spec.clone(), types, deadline);
+                run_with_policy(&env.spec, &wf, &plan, &mut policy, EPOCH, run_seed)
+                    .cost
+                    .total()
+            }
+        };
+        total += cost;
+    }
+    total
+}
+
+pub fn fig10(env: &Env) -> Fig10Result {
+    let n_workflows = match env.scale {
+        crate::Scale::Quick => 4,
+        crate::Scale::Full => 20,
+    };
+    let sizes: Vec<usize> = match env.scale {
+        crate::Scale::Quick => vec![20, 100],
+        crate::Scale::Full => vec![20, 100, 1000],
+    };
+    // (a) by workflow size, threshold fixed at the 50% default.
+    let by_size = sizes
+        .iter()
+        .map(|&size| {
+            let seed = ROOT_SEED ^ 0xF10A ^ size as u64;
+            let h = fleet_cost(env, size, n_workflows, Some(0.5), seed);
+            let d = fleet_cost(env, size, n_workflows, None, seed);
+            Fig10Row {
+                label: format!("Ligo-{size}"),
+                heuristic_cost: h,
+                deco_cost: d,
+                norm: d / h,
+            }
+        })
+        .collect();
+    // (b) by threshold, on the largest size at this scale.
+    let size = *sizes.last().unwrap();
+    let by_threshold = [0.1, 0.3, 0.5, 0.7, 0.9]
+        .into_iter()
+        .map(|th| {
+            let seed = ROOT_SEED ^ 0xF10B ^ (th * 100.0) as u64;
+            let h = fleet_cost(env, size, n_workflows, Some(th), seed);
+            let d = fleet_cost(env, size, n_workflows, None, seed);
+            Fig10Row {
+                label: format!("threshold {:.0}%", th * 100.0),
+                heuristic_cost: h,
+                deco_cost: d,
+                norm: d / h,
+            }
+        })
+        .collect();
+    Fig10Result {
+        by_size,
+        by_threshold,
+    }
+}
+
+impl Fig10Result {
+    pub fn render(&self) -> String {
+        let mut s = String::from("Figure 10a: follow-the-cost total cost by workflow size\n");
+        s.push_str(&format!(
+            "{:<24} {:>9} {:>9} {:>9}\n",
+            "fleet", "heuristic", "deco", "norm"
+        ));
+        for r in &self.by_size {
+            s.push_str(&row(&r.label, &[r.heuristic_cost, r.deco_cost, r.norm]));
+            s.push('\n');
+        }
+        s.push_str("Figure 10b: by adjustment threshold\n");
+        for r in &self.by_threshold {
+            s.push_str(&row(&r.label, &[r.heuristic_cost, r.deco_cost, r.norm]));
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Sanity baseline: the same fleet with no runtime policy at all (stays
+/// where it was deployed).
+pub fn static_fleet_cost(env: &Env, size: usize, n_workflows: usize, seed: u64) -> f64 {
+    let mut total = 0.0;
+    for i in 0..n_workflows {
+        let wf = generators::ligo(size, splitmix64(seed ^ i as u64));
+        let types = vec![0usize; wf.len()];
+        let plan = Plan::packed(&wf, &types, i % 2, &env.spec);
+        total += run_plan(&env.spec, &wf, &plan, splitmix64(seed ^ (i as u64) << 17))
+            .cost
+            .total();
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn fig10_deco_not_worse_than_heuristic() {
+        let env = Env::new(Scale::Quick);
+        let r = fig10(&env);
+        for row in r.by_size.iter().chain(&r.by_threshold) {
+            assert!(
+                row.norm <= 1.05,
+                "{}: deco {} vs heuristic {}",
+                row.label,
+                row.deco_cost,
+                row.heuristic_cost
+            );
+        }
+    }
+
+    #[test]
+    fn policies_beat_doing_nothing() {
+        let env = Env::new(Scale::Quick);
+        let seed = ROOT_SEED ^ 0xAB;
+        let stay = static_fleet_cost(&env, 20, 4, seed);
+        let deco = fleet_cost(&env, 20, 4, None, seed);
+        assert!(
+            deco <= stay * 1.01,
+            "runtime migration should not cost more than staying: {deco} vs {stay}"
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (Section 6).
+//!
+//! Each `figNN` / `tableNN` module exposes a `run(scale) -> …Result` that
+//! produces the same rows/series the paper reports, plus a `render()` that
+//! prints them. The `experiments` binary drives them from the command
+//! line; the Criterion benches in `benches/` time the computational core
+//! of each experiment at [`Scale::Quick`].
+//!
+//! Absolute numbers come from the simulated substrate, so the comparisons
+//! to check against the paper are the *shapes*: who wins, by what factor,
+//! and where the crossovers fall. EXPERIMENTS.md records paper-vs-measured
+//! for every row.
+
+pub mod ablation;
+pub mod common;
+pub mod ensemble_exp;
+pub mod figures;
+pub mod followcost_exp;
+pub mod scheduling_exp;
+pub mod speedup_exp;
+
+/// Experiment scale.
+///
+/// `Quick` shrinks workflows, repetitions and Monte-Carlo budgets so a full
+/// sweep finishes in seconds (used by Criterion and CI); `Full` runs the
+/// paper's configuration sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    Quick,
+    Full,
+}
+
+impl Scale {
+    /// Montage degrees standing in for Montage-1/4/8.
+    pub fn montage_degrees(self) -> Vec<u32> {
+        match self {
+            Scale::Quick => vec![1, 2],
+            Scale::Full => vec![1, 4, 8],
+        }
+    }
+
+    /// Repetitions of each plan against the dynamic cloud (the paper runs
+    /// 100).
+    pub fn runs(self) -> usize {
+        match self {
+            Scale::Quick => 20,
+            Scale::Full => 100,
+        }
+    }
+
+    /// Monte-Carlo iterations per searched state.
+    pub fn mc_iters(self) -> usize {
+        match self {
+            Scale::Quick => 50,
+            Scale::Full => 200,
+        }
+    }
+
+    /// Calibration samples per component (the paper measures 10,000).
+    pub fn calibration_samples(self) -> usize {
+        match self {
+            Scale::Quick => 2_000,
+            Scale::Full => 10_000,
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Pay-as-you-go billing.
+//!
+//! EC2's classic model (the one the paper optimizes against): an instance
+//! is charged per *started* billing quantum (one hour), so releasing an
+//! instance 61 minutes after acquisition costs two hours. The Merge and
+//! Co-Scheduling transformation operations exist precisely to "fully
+//! utilize the instance partial hour".
+
+/// Number of billing quanta charged for a busy interval of `seconds`.
+pub fn quanta_charged(seconds: f64, quantum: f64) -> u64 {
+    assert!(quantum > 0.0, "billing quantum must be positive");
+    assert!(seconds >= 0.0, "negative usage");
+    if seconds == 0.0 {
+        // Acquiring an instance and releasing it immediately still bills
+        // one quantum.
+        return 1;
+    }
+    (seconds / quantum).ceil() as u64
+}
+
+/// Cost of running one instance for `seconds` at `price_per_quantum`.
+pub fn instance_cost(seconds: f64, quantum: f64, price_per_quantum: f64) -> f64 {
+    quanta_charged(seconds, quantum) as f64 * price_per_quantum
+}
+
+/// A ledger accumulating the cost components the paper reports:
+/// instance-hours ("operational cost") and inter-region transfer
+/// ("networking cost").
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CostLedger {
+    pub compute: f64,
+    pub transfer: f64,
+}
+
+impl CostLedger {
+    pub fn total(&self) -> f64 {
+        self.compute + self.transfer
+    }
+
+    pub fn add_instance(&mut self, seconds: f64, quantum: f64, price: f64) {
+        self.compute += instance_cost(seconds, quantum, price);
+    }
+
+    pub fn add_transfer(&mut self, bytes: f64, price_per_gb: f64) {
+        assert!(bytes >= 0.0 && price_per_gb >= 0.0);
+        self.transfer += bytes / (1024.0 * 1024.0 * 1024.0) * price_per_gb;
+    }
+
+    pub fn merge(&mut self, other: &CostLedger) {
+        self.compute += other.compute;
+        self.transfer += other.transfer;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partial_hours_round_up() {
+        assert_eq!(quanta_charged(1.0, 3600.0), 1);
+        assert_eq!(quanta_charged(3600.0, 3600.0), 1);
+        assert_eq!(quanta_charged(3601.0, 3600.0), 2);
+        assert_eq!(quanta_charged(7200.0, 3600.0), 2);
+    }
+
+    #[test]
+    fn zero_usage_still_bills_a_quantum() {
+        assert_eq!(quanta_charged(0.0, 3600.0), 1);
+    }
+
+    #[test]
+    fn billing_is_monotone_in_time() {
+        let mut prev = 0;
+        for s in (0..20).map(|i| i as f64 * 900.0) {
+            let q = quanta_charged(s, 3600.0);
+            assert!(q >= prev);
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn cost_scales_with_price() {
+        assert!((instance_cost(5400.0, 3600.0, 0.1) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ledger_accumulates_and_merges() {
+        let mut a = CostLedger::default();
+        a.add_instance(3600.0, 3600.0, 0.044);
+        a.add_transfer(2.0 * 1024.0 * 1024.0 * 1024.0, 0.12);
+        assert!((a.compute - 0.044).abs() < 1e-12);
+        assert!((a.transfer - 0.24).abs() < 1e-12);
+        let mut b = CostLedger::default();
+        b.add_instance(3600.0, 3600.0, 0.175);
+        b.merge(&a);
+        assert!((b.total() - (0.175 + 0.044 + 0.24)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_usage_rejected() {
+        quanta_charged(-1.0, 3600.0);
+    }
+}

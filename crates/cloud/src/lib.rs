@@ -1,0 +1,36 @@
+//! IaaS cloud substrate for the Deco reproduction.
+//!
+//! The paper executes workflows either on Amazon EC2 or on a CloudSim-based
+//! simulator whose Instance components draw their per-second I/O and
+//! network performance from distributions calibrated on EC2 (Section 6.1).
+//! This crate is that simulator, built from scratch:
+//!
+//! * [`instance`] — the instance-type catalog (m1.small … m1.xlarge) with
+//!   ECU speeds, prices, and the Table 2 performance laws.
+//! * [`region`] — multiple pricing regions (US East, Singapore) and the
+//!   inter-region network (the follow-the-cost substrate).
+//! * [`dynamics`] — per-second performance sampling for running instances.
+//! * [`billing`] — pay-as-you-go hourly billing with partial-hour rounding.
+//! * [`metadata`] — the metadata store of calibrated histograms consumed by
+//!   `import(cloud)` in WLog programs.
+//! * [`calibration`] — the micro-benchmark pipeline that measures the
+//!   (simulated) cloud and fits Table 2's distributions.
+//! * [`plan`] — resource provisioning plans: instance type per task plus
+//!   slot packing onto concrete instances.
+//! * [`sim`] — the execution engine: runs a workflow under a plan against
+//!   the dynamic cloud, reporting makespan and cost.
+
+pub mod billing;
+pub mod calibration;
+pub mod dynamics;
+pub mod instance;
+pub mod metadata;
+pub mod plan;
+pub mod region;
+pub mod sim;
+
+pub use instance::{CloudSpec, InstanceType, InstanceTypeId};
+pub use metadata::{MetadataStore, PerfComponent};
+pub use plan::{Plan, VmSlot};
+pub use region::{Region, RegionId};
+pub use sim::{run_plan, run_plan_many, run_with_policy, RunResult, RuntimePolicy, Simulation};

@@ -1,0 +1,149 @@
+//! The cloud metadata store.
+//!
+//! `import(cloud)` in a WLog program pulls two kinds of facts (Section
+//! 4.2): static properties (instance ids, prices, CPU capability) and
+//! dynamic performance components stored as *discretized histograms*
+//! produced by periodic calibration. The optimizer never sees the ground
+//! truth laws of the simulator — only this store — reproducing the paper's
+//! information flow.
+
+use crate::instance::{CloudSpec, InstanceTypeId};
+use deco_prob::Histogram;
+
+/// The dynamic performance components the store tracks per instance type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PerfComponent {
+    /// Sequential disk I/O bandwidth (MB/s).
+    SeqIo,
+    /// Random disk I/O throughput (MB/s).
+    RandIo,
+    /// Network bandwidth to a same-type peer (MB/s).
+    Net,
+}
+
+impl PerfComponent {
+    pub const ALL: [PerfComponent; 3] = [PerfComponent::SeqIo, PerfComponent::RandIo, PerfComponent::Net];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            PerfComponent::SeqIo => "seq_io",
+            PerfComponent::RandIo => "rand_io",
+            PerfComponent::Net => "net",
+        }
+    }
+}
+
+/// Calibrated metadata for one cloud.
+#[derive(Debug, Clone)]
+pub struct MetadataStore {
+    pub spec: CloudSpec,
+    /// `hists[itype][component]` in `PerfComponent::ALL` order.
+    hists: Vec<[Histogram; 3]>,
+    cross_region_net: Histogram,
+}
+
+impl MetadataStore {
+    pub fn new(spec: CloudSpec, hists: Vec<[Histogram; 3]>, cross_region_net: Histogram) -> Self {
+        assert_eq!(
+            hists.len(),
+            spec.types.len(),
+            "need one histogram set per instance type"
+        );
+        Self {
+            spec,
+            hists,
+            cross_region_net,
+        }
+    }
+
+    /// Exact discretization of the ground-truth laws — the limit of an
+    /// infinitely long calibration. Tests and planners that want to remove
+    /// calibration noise use this.
+    pub fn from_ground_truth(spec: CloudSpec, bins: usize) -> Self {
+        let hists = spec
+            .types
+            .iter()
+            .map(|t| {
+                [
+                    Histogram::from_dist(&t.seq_io(), bins, 4.0, Some(1.0)),
+                    Histogram::from_dist(&t.rand_io(), bins, 4.0, Some(1.0)),
+                    Histogram::from_dist(&t.net(), bins, 4.0, Some(1.0)),
+                ]
+            })
+            .collect();
+        let cross = Histogram::from_dist(&spec.cross_region_net(), bins, 4.0, Some(1.0));
+        Self::new(spec, hists, cross)
+    }
+
+    fn comp_index(c: PerfComponent) -> usize {
+        match c {
+            PerfComponent::SeqIo => 0,
+            PerfComponent::RandIo => 1,
+            PerfComponent::Net => 2,
+        }
+    }
+
+    /// Calibrated histogram for one component of one type.
+    pub fn hist(&self, itype: InstanceTypeId, c: PerfComponent) -> &Histogram {
+        &self.hists[itype][Self::comp_index(c)]
+    }
+
+    /// Network histogram governing a transfer between two instance types —
+    /// the smaller type's law, as in [`CloudSpec::pair_net`].
+    pub fn pair_net_hist(&self, a: InstanceTypeId, b: InstanceTypeId) -> &Histogram {
+        let slower = if self.spec.types[a].net_normal.0 <= self.spec.types[b].net_normal.0 {
+            a
+        } else {
+            b
+        };
+        self.hist(slower, PerfComponent::Net)
+    }
+
+    /// Inter-region network histogram.
+    pub fn cross_region_hist(&self) -> &Histogram {
+        &self.cross_region_net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deco_prob::dist::Dist;
+
+    #[test]
+    fn ground_truth_store_matches_law_means() {
+        let spec = CloudSpec::amazon_ec2();
+        let store = MetadataStore::from_ground_truth(spec.clone(), 40);
+        for (i, t) in spec.types.iter().enumerate() {
+            let h = store.hist(i, PerfComponent::SeqIo);
+            assert!(
+                (h.mean() - t.seq_io().mean()).abs() / t.seq_io().mean() < 0.02,
+                "{}: {} vs {}",
+                t.name,
+                h.mean(),
+                t.seq_io().mean()
+            );
+        }
+    }
+
+    #[test]
+    fn pair_net_hist_picks_slower_type() {
+        let store = MetadataStore::from_ground_truth(CloudSpec::amazon_ec2(), 40);
+        let medium = store.hist(1, PerfComponent::Net).clone();
+        assert_eq!(store.pair_net_hist(1, 2), &medium);
+        assert_eq!(store.pair_net_hist(2, 1), &medium);
+    }
+
+    #[test]
+    fn cross_region_hist_is_slow() {
+        let store = MetadataStore::from_ground_truth(CloudSpec::amazon_ec2(), 40);
+        assert!(store.cross_region_hist().mean() < store.hist(0, PerfComponent::Net).mean());
+    }
+
+    #[test]
+    #[should_panic]
+    fn store_requires_full_coverage() {
+        let spec = CloudSpec::amazon_ec2();
+        MetadataStore::new(spec, Vec::new(), Histogram::constant(1.0));
+    }
+}

@@ -1,0 +1,579 @@
+//! Resource provisioning plans.
+//!
+//! A plan is the output of Deco and the input of the execution engine: it
+//! fixes, for every task, the instance *type* (the paper's optimization
+//! variable `vm_ij`) and the concrete instance ("slot") the task runs on.
+//! Slots matter because billing is per instance-hour: putting two short
+//! same-type tasks on one slot (the Merge / Co-Scheduling transformations)
+//! halves their cost.
+
+use crate::instance::{CloudSpec, InstanceTypeId};
+use crate::region::RegionId;
+use deco_prob::hist::Histogram;
+use deco_workflow::{TaskId, Workflow};
+use serde::{Deserialize, Serialize};
+
+/// One concrete instance to be acquired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VmSlot {
+    pub itype: InstanceTypeId,
+    pub region: RegionId,
+}
+
+/// A provisioning plan: slots plus a task → slot assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Plan {
+    pub slots: Vec<VmSlot>,
+    /// `assign[task.index()]` = slot index.
+    pub assign: Vec<usize>,
+    /// Dispatch rank per task (lower runs earlier on its instance). The
+    /// packers fill this from their planned start times so the execution
+    /// engine and the Monte-Carlo estimator sequence slot-mates the same
+    /// way the plan intended — without it, greedy dispatch could reorder a
+    /// shared instance's queue and blow the deadline the planner verified.
+    pub order: Vec<u32>,
+}
+
+impl Plan {
+    /// One dedicated instance per task, with the given type per task.
+    pub fn one_slot_per_task(types: &[InstanceTypeId], region: RegionId) -> Plan {
+        Plan {
+            slots: types.iter().map(|&t| VmSlot { itype: t, region }).collect(),
+            assign: (0..types.len()).collect(),
+            order: (0..types.len() as u32).collect(),
+        }
+    }
+
+    /// One dedicated instance per task, all of a single type — the
+    /// "m1.small only" style configurations of Figure 1.
+    pub fn single_type(n_tasks: usize, itype: InstanceTypeId, region: RegionId) -> Plan {
+        Plan::one_slot_per_task(&vec![itype; n_tasks], region)
+    }
+
+    /// Instance type chosen for a task.
+    pub fn task_type(&self, t: TaskId) -> InstanceTypeId {
+        self.slots[self.assign[t.index()]].itype
+    }
+
+    /// Region chosen for a task.
+    pub fn task_region(&self, t: TaskId) -> RegionId {
+        self.slots[self.assign[t.index()]].region
+    }
+
+    /// Internal consistency + workflow coverage.
+    pub fn validate(&self, wf: &Workflow, spec: &CloudSpec) -> Result<(), String> {
+        if self.assign.len() != wf.len() {
+            return Err(format!(
+                "plan covers {} tasks, workflow has {}",
+                self.assign.len(),
+                wf.len()
+            ));
+        }
+        if self.order.len() != wf.len() {
+            return Err(format!(
+                "plan has {} dispatch ranks for {} tasks",
+                self.order.len(),
+                wf.len()
+            ));
+        }
+        for (i, &s) in self.assign.iter().enumerate() {
+            if s >= self.slots.len() {
+                return Err(format!("task {i} assigned to unknown slot {s}"));
+            }
+        }
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot.itype >= spec.k() {
+                return Err(format!("slot {i} has unknown type {}", slot.itype));
+            }
+            if slot.region >= spec.regions.len() {
+                return Err(format!("slot {i} has unknown region {}", slot.region));
+            }
+        }
+        Ok(())
+    }
+
+    /// Consolidate a per-task type vector into slots by greedy list
+    /// scheduling on *mean* execution times: a task reuses an existing
+    /// same-type slot when that slot is expected to be free by the time the
+    /// task's inputs are ready, otherwise a new slot is opened. This is the
+    /// packing every algorithm in the repository (Deco and baselines alike)
+    /// uses to turn a type assignment into concrete instances.
+    pub fn packed(
+        wf: &Workflow,
+        types: &[InstanceTypeId],
+        region: RegionId,
+        spec: &CloudSpec,
+    ) -> Plan {
+        assert_eq!(types.len(), wf.len());
+        let mean_exec: Vec<f64> = wf
+            .task_ids()
+            .map(|t| mean_exec_seconds(spec, types[t.index()], wf, t))
+            .collect();
+        let mut slots: Vec<VmSlot> = Vec::new();
+        let mut slot_free: Vec<f64> = Vec::new();
+        let mut assign = vec![usize::MAX; wf.len()];
+        let mut finish = vec![0.0f64; wf.len()];
+        let mut order = vec![0u32; wf.len()];
+        let mut next_rank = 0u32;
+        for t in wf.topo_order() {
+            let ready = wf
+                .parents(t)
+                .map(|p| finish[p.index()])
+                .fold(0.0f64, f64::max);
+            let ty = types[t.index()];
+            // Best fit: the same-type slot free the latest but still by
+            // `ready` (keeps instances busy without delaying the task).
+            let candidate = (0..slots.len())
+                .filter(|&s| slots[s].itype == ty && slot_free[s] <= ready + 1e-9)
+                .max_by(|&a, &b| slot_free[a].partial_cmp(&slot_free[b]).unwrap());
+            let s = match candidate {
+                Some(s) => s,
+                None => {
+                    slots.push(VmSlot { itype: ty, region });
+                    slot_free.push(0.0);
+                    slots.len() - 1
+                }
+            };
+            assign[t.index()] = s;
+            order[t.index()] = next_rank;
+            next_rank += 1;
+            let start = ready.max(slot_free[s]);
+            finish[t.index()] = start + mean_exec[t.index()];
+            slot_free[s] = finish[t.index()];
+        }
+        Plan { slots, assign, order }
+    }
+}
+
+impl Plan {
+    /// Deadline-aware consolidation — the Move and Merge transformation
+    /// operations. A task may *wait* for a busy same-type instance when its
+    /// latest feasible finish time (backward pass from `deadline` on mean
+    /// times) allows it, and instance choice minimizes the number of newly
+    /// opened billing quanta. Loose deadlines therefore collapse onto few
+    /// busy instances (cheap); tight deadlines fan out (fast).
+    pub fn packed_deadline(
+        wf: &Workflow,
+        types: &[InstanceTypeId],
+        region: RegionId,
+        spec: &CloudSpec,
+        deadline: f64,
+    ) -> Plan {
+        assert_eq!(types.len(), wf.len());
+        assert!(deadline > 0.0);
+        let mean_exec: Vec<f64> = wf
+            .task_ids()
+            .map(|t| mean_exec_seconds(spec, types[t.index()], wf, t))
+            .collect();
+        // Latest finish times: backward pass over reverse topo order.
+        let order = wf.topo_order();
+        let mut lft = vec![deadline; wf.len()];
+        for &t in order.iter().rev() {
+            for c in wf.children(t) {
+                lft[t.index()] = lft[t.index()].min(lft[c.index()] - mean_exec[c.index()]);
+            }
+        }
+        let quantum = spec.billing_quantum;
+        let mut slots: Vec<VmSlot> = Vec::new();
+        let mut slot_free: Vec<f64> = Vec::new();
+        let mut slot_span: Vec<Option<(f64, f64)>> = Vec::new();
+        let mut assign = vec![usize::MAX; wf.len()];
+        let mut finish = vec![0.0f64; wf.len()];
+        let quanta = |span: Option<(f64, f64)>| -> f64 {
+            match span {
+                None => 0.0,
+                Some((a, b)) => crate::billing::quanta_charged(b - a, quantum) as f64,
+            }
+        };
+        let mut ranks = vec![0u32; wf.len()];
+        let mut next_rank = 0u32;
+        for t in order {
+            let ready = wf
+                .parents(t)
+                .map(|p| finish[p.index()])
+                .fold(0.0f64, f64::max);
+            let ty = types[t.index()];
+            let dur = mean_exec[t.index()];
+            // Candidate reuse: cheapest additional quanta among same-type
+            // slots whose (possibly delayed) finish meets the task's LFT;
+            // ties broken by earliest start.
+            let mut best: Option<(usize, f64, f64)> = None; // (slot, extra_quanta, start)
+            for s in 0..slots.len() {
+                if slots[s].itype != ty {
+                    continue;
+                }
+                let start = ready.max(slot_free[s]);
+                let end = start + dur;
+                if end > lft[t.index()] + 1e-9 {
+                    continue;
+                }
+                let old = quanta(slot_span[s]);
+                let new_span = match slot_span[s] {
+                    None => (start, end),
+                    Some((a, b)) => (a.min(start), b.max(end)),
+                };
+                let extra = quanta(Some(new_span)) - old;
+                if best.map_or(true, |(_, be, bs)| (extra, start) < (be, bs)) {
+                    best = Some((s, extra, start));
+                }
+            }
+            // A fresh instance costs quanta(dur); reuse wins on cost, then
+            // on start time.
+            let fresh_cost = crate::billing::quanta_charged(dur, quantum) as f64;
+            let s = match best {
+                Some((s, extra, _)) if extra <= fresh_cost => s,
+                _ => {
+                    slots.push(VmSlot { itype: ty, region });
+                    slot_free.push(0.0);
+                    slot_span.push(None);
+                    slots.len() - 1
+                }
+            };
+            let start = ready.max(slot_free[s]);
+            finish[t.index()] = start + dur;
+            slot_free[s] = finish[t.index()];
+            slot_span[s] = Some(match slot_span[s] {
+                None => (start, finish[t.index()]),
+                Some((a, b)) => (a.min(start), b.max(finish[t.index()])),
+            });
+            assign[t.index()] = s;
+            ranks[t.index()] = next_rank;
+            next_rank += 1;
+        }
+        Plan {
+            slots,
+            assign,
+            order: ranks,
+        }
+    }
+
+    /// The precedence-respecting task sequence that honors the plan's
+    /// dispatch ranks: Kahn's algorithm emitting the ready task with the
+    /// smallest rank first. The estimator and the execution engine both
+    /// process tasks in exactly this order.
+    pub fn dispatch_order(&self, wf: &Workflow) -> Vec<TaskId> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        assert_eq!(self.order.len(), wf.len());
+        let mut indeg: Vec<usize> = wf.task_ids().map(|t| wf.parents(t).count()).collect();
+        let mut heap: BinaryHeap<Reverse<(u32, u32)>> = wf
+            .task_ids()
+            .filter(|t| indeg[t.index()] == 0)
+            .map(|t| Reverse((self.order[t.index()], t.0)))
+            .collect();
+        let mut out = Vec::with_capacity(wf.len());
+        while let Some(Reverse((_, raw))) = heap.pop() {
+            let t = TaskId(raw);
+            out.push(t);
+            for c in wf.children(t) {
+                indeg[c.index()] -= 1;
+                if indeg[c.index()] == 0 {
+                    heap.push(Reverse((self.order[c.index()], c.0)));
+                }
+            }
+        }
+        debug_assert_eq!(out.len(), wf.len());
+        out
+    }
+}
+
+/// Expected execution seconds of a task on a type: deterministic CPU phase
+/// plus I/O at the type's mean sequential bandwidth.
+pub fn mean_exec_seconds(
+    spec: &CloudSpec,
+    itype: InstanceTypeId,
+    wf: &Workflow,
+    t: TaskId,
+) -> f64 {
+    let ty = &spec.types[itype];
+    let p = &wf.task(t).profile;
+    p.cpu_seconds / ty.ecu + crate::dynamics::phase_seconds_mean(p.io_bytes(), &ty.seq_io())
+}
+
+/// Planning-time estimate of a plan's schedule on mean performance: the
+/// same list schedule the execution engine follows, with every dynamic
+/// phase at its mean. Used by baselines for admission decisions and by
+/// Deco's A* scores; the real (sampled) outcome comes from
+/// [`crate::sim::run_plan`].
+#[derive(Debug, Clone)]
+pub struct MeanSchedule {
+    pub makespan: f64,
+    pub cost: crate::billing::CostLedger,
+    pub finish: Vec<f64>,
+}
+
+/// Compute the [`MeanSchedule`] of `plan` on `wf`.
+pub fn mean_schedule(wf: &Workflow, plan: &Plan, spec: &CloudSpec) -> MeanSchedule {
+    plan.validate(wf, spec).expect("invalid plan");
+    let mut slot_free = vec![0.0f64; plan.slots.len()];
+    let mut slot_span: Vec<Option<(f64, f64)>> = vec![None; plan.slots.len()];
+    let mut finish = vec![0.0f64; wf.len()];
+    let mut cross_bytes = 0.0;
+    for t in plan.dispatch_order(wf) {
+        let my_slot = plan.assign[t.index()];
+        let mut ready = 0.0f64;
+        for p in wf.parents(t) {
+            let p_slot = plan.assign[p.index()];
+            let mut at = finish[p.index()];
+            if p_slot != my_slot {
+                let bytes = wf.edge_bytes(p, t).unwrap_or(0.0);
+                let from = plan.slots[p_slot];
+                let to = plan.slots[my_slot];
+                if from.region != to.region {
+                    at += crate::dynamics::phase_seconds_mean(bytes, &spec.cross_region_net());
+                    cross_bytes += bytes;
+                } else {
+                    at += crate::dynamics::phase_seconds_mean(
+                        bytes,
+                        &spec.pair_net(from.itype, to.itype),
+                    );
+                }
+            }
+            ready = ready.max(at);
+        }
+        let start = ready.max(slot_free[my_slot]);
+        let dur = mean_exec_seconds(spec, plan.slots[my_slot].itype, wf, t);
+        finish[t.index()] = start + dur;
+        slot_free[my_slot] = finish[t.index()];
+        slot_span[my_slot] = Some(match slot_span[my_slot] {
+            None => (start, finish[t.index()]),
+            Some((a, b)) => (a.min(start), b.max(finish[t.index()])),
+        });
+    }
+    let mut cost = crate::billing::CostLedger::default();
+    for (slot, span) in plan.slots.iter().zip(&slot_span) {
+        if let Some((a, b)) = span {
+            cost.add_instance(b - a, spec.billing_quantum, spec.price(slot.itype, slot.region));
+        }
+    }
+    cost.add_transfer(cross_bytes, spec.inter_region_price_per_gb);
+    let makespan = finish.iter().cloned().fold(0.0f64, f64::max);
+    MeanSchedule {
+        makespan,
+        cost,
+        finish,
+    }
+}
+
+/// Histogram of a task's execution time on a type, derived from the
+/// *metadata store* (not ground truth): CPU phase is a constant shift, the
+/// I/O phase maps the calibrated bandwidth histogram through
+/// `bytes / bandwidth`. This is the `T_ij(t)` of Equation (2) and the
+/// source of the probabilistic IR's `exetime` facts.
+pub fn exec_time_hist(
+    store: &crate::metadata::MetadataStore,
+    itype: InstanceTypeId,
+    wf: &Workflow,
+    t: TaskId,
+) -> Histogram {
+    let ty = &store.spec.types[itype];
+    let p = &wf.task(t).profile;
+    let cpu = p.cpu_seconds / ty.ecu;
+    let io_bytes_mb = p.io_bytes() / (1024.0 * 1024.0);
+    if io_bytes_mb == 0.0 {
+        return Histogram::constant(cpu);
+    }
+    store
+        .hist(itype, crate::metadata::PerfComponent::SeqIo)
+        .map(|bw| cpu + io_bytes_mb / bw.max(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deco_workflow::generators;
+
+    #[test]
+    fn single_type_plan_is_valid() {
+        let spec = CloudSpec::amazon_ec2();
+        let wf = generators::montage(1, 0);
+        let plan = Plan::single_type(wf.len(), 2, 0);
+        plan.validate(&wf, &spec).unwrap();
+        for t in wf.task_ids() {
+            assert_eq!(plan.task_type(t), 2);
+            assert_eq!(plan.task_region(t), 0);
+        }
+    }
+
+    #[test]
+    fn validate_catches_bad_plans() {
+        let spec = CloudSpec::amazon_ec2();
+        let wf = generators::pipeline(3, 1.0, 0);
+        let short = Plan::single_type(2, 0, 0);
+        assert!(short.validate(&wf, &spec).is_err());
+        let bad_type = Plan::single_type(3, 99, 0);
+        assert!(bad_type.validate(&wf, &spec).is_err());
+        let bad_region = Plan::single_type(3, 0, 9);
+        assert!(bad_region.validate(&wf, &spec).is_err());
+    }
+
+    #[test]
+    fn packing_reuses_slots_along_a_chain() {
+        // A pipeline is strictly sequential: one slot should carry it all.
+        let spec = CloudSpec::amazon_ec2();
+        let wf = generators::pipeline(6, 10.0, 1 << 20);
+        let plan = Plan::packed(&wf, &vec![1; 6], 0, &spec);
+        plan.validate(&wf, &spec).unwrap();
+        assert_eq!(plan.slots.len(), 1, "a chain packs onto one instance");
+    }
+
+    #[test]
+    fn packing_gives_parallel_tasks_their_own_slots() {
+        let spec = CloudSpec::amazon_ec2();
+        let wf = generators::fork_join(8, 100.0, (1 << 20) as f64);
+        let plan = Plan::packed(&wf, &vec![0; wf.len()], 0, &spec);
+        // 8 parallel workers cannot share while respecting readiness.
+        assert!(plan.slots.len() >= 8, "got {} slots", plan.slots.len());
+    }
+
+    #[test]
+    fn packing_separates_types() {
+        let spec = CloudSpec::amazon_ec2();
+        let wf = generators::pipeline(4, 10.0, 1 << 20);
+        let plan = Plan::packed(&wf, &[0, 1, 0, 1], 0, &spec);
+        // Types alternate, so slots of both types exist.
+        let types: std::collections::HashSet<_> =
+            plan.slots.iter().map(|s| s.itype).collect();
+        assert_eq!(types.len(), 2);
+    }
+
+    #[test]
+    fn mean_exec_decreases_with_bigger_type() {
+        let spec = CloudSpec::amazon_ec2();
+        let wf = generators::montage(1, 0);
+        let t = wf.task_ids().next().unwrap();
+        let small = mean_exec_seconds(&spec, 0, &wf, t);
+        let xlarge = mean_exec_seconds(&spec, 3, &wf, t);
+        assert!(xlarge < small);
+    }
+
+    #[test]
+    fn exec_time_hist_tracks_mean_exec() {
+        let spec = CloudSpec::amazon_ec2();
+        let store = crate::metadata::MetadataStore::from_ground_truth(spec.clone(), 40);
+        let wf = generators::montage(1, 0);
+        let t = wf.task_ids().next().unwrap();
+        let h = exec_time_hist(&store, 1, &wf, t);
+        let m = mean_exec_seconds(&spec, 1, &wf, t);
+        // Jensen gap on 1/bw is small at these variances.
+        assert!(
+            (h.mean() - m).abs() / m < 0.05,
+            "hist mean {} vs analytic {}",
+            h.mean(),
+            m
+        );
+    }
+
+    #[test]
+    fn exec_time_hist_pure_cpu_is_constant() {
+        let spec = CloudSpec::amazon_ec2();
+        let store = crate::metadata::MetadataStore::from_ground_truth(spec, 40);
+        let mut wf = Workflow::new("cpu-only");
+        let t = wf.add_task("a", "x", deco_workflow::TaskProfile::new(40.0, 0.0, 0.0));
+        let h = exec_time_hist(&store, 1, &wf, t);
+        assert!(h.variance() < 1e-12);
+        assert!((h.mean() - 20.0).abs() < 1e-6, "40 ECU-s on a 2-ECU type");
+    }
+}
+
+#[cfg(test)]
+mod deadline_packing_tests {
+    use super::*;
+    use deco_workflow::generators;
+
+    fn spec() -> CloudSpec {
+        CloudSpec::amazon_ec2()
+    }
+
+    #[test]
+    fn loose_deadline_collapses_onto_few_instances() {
+        // A wide fork-join with a huge deadline: tasks should queue on a
+        // handful of instances (Merge) instead of opening one each.
+        let spec = spec();
+        let wf = generators::fork_join(8, 600.0, 0.0);
+        let tight = Plan::packed_deadline(&wf, &vec![0; wf.len()], 0, &spec, 1900.0);
+        let loose = Plan::packed_deadline(&wf, &vec![0; wf.len()], 0, &spec, 1e9);
+        assert!(
+            loose.slots.len() < tight.slots.len(),
+            "loose {} slots vs tight {}",
+            loose.slots.len(),
+            tight.slots.len()
+        );
+        assert_eq!(loose.slots.len(), 1, "everything fits one instance");
+        // And the loose plan is strictly cheaper in instance-hours.
+        let lc = mean_schedule(&wf, &loose, &spec).cost.total();
+        let tc = mean_schedule(&wf, &tight, &spec).cost.total();
+        assert!(lc < tc, "loose {lc} vs tight {tc}");
+    }
+
+    #[test]
+    fn packed_deadline_meets_the_deadline_when_achievable() {
+        let spec = spec();
+        let wf = generators::fork_join(6, 600.0, 0.0);
+        // 3 levels x 600 s = 1800 s minimum; give 2200 s.
+        let plan = Plan::packed_deadline(&wf, &vec![0; wf.len()], 0, &spec, 2200.0);
+        let sched = mean_schedule(&wf, &plan, &spec);
+        assert!(
+            sched.makespan <= 2200.0 + 1e-6,
+            "makespan {} exceeds the packing deadline",
+            sched.makespan
+        );
+    }
+
+    #[test]
+    fn impossible_deadline_still_produces_a_maximally_parallel_plan() {
+        let spec = spec();
+        let wf = generators::fork_join(4, 600.0, 0.0);
+        let plan = Plan::packed_deadline(&wf, &vec![0; wf.len()], 0, &spec, 1.0);
+        plan.validate(&wf, &spec).unwrap();
+        // Parallel workers each get their own instance (no merging helps).
+        assert!(plan.slots.len() >= 4);
+    }
+
+    #[test]
+    fn dispatch_order_is_a_topological_order() {
+        let spec = spec();
+        let wf = generators::montage(1, 3);
+        let plan = Plan::packed_deadline(&wf, &vec![1; wf.len()], 0, &spec, 1e9);
+        let order = plan.dispatch_order(&wf);
+        assert_eq!(order.len(), wf.len());
+        let pos: std::collections::HashMap<TaskId, usize> =
+            order.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        for e in wf.edges() {
+            assert!(pos[&e.from] < pos[&e.to], "{} before {}", e.from, e.to);
+        }
+    }
+
+    #[test]
+    fn dispatch_order_honors_ranks_within_readiness() {
+        // Two independent tasks on one slot: the lower rank runs first even
+        // if it has a higher task id.
+        let mut wf = Workflow::new("pair");
+        let a = wf.add_task("a", "x", deco_workflow::TaskProfile::new(10.0, 0.0, 0.0));
+        let b = wf.add_task("b", "x", deco_workflow::TaskProfile::new(10.0, 0.0, 0.0));
+        let plan = Plan {
+            slots: vec![VmSlot { itype: 0, region: 0 }],
+            assign: vec![0, 0],
+            order: vec![5, 2], // b first
+        };
+        let order = plan.dispatch_order(&wf);
+        assert_eq!(order, vec![b, a]);
+    }
+
+    #[test]
+    fn mean_schedule_follows_plan_order() {
+        // With b ranked first on the shared slot, a finishes second.
+        let spec = spec();
+        let mut wf = Workflow::new("pair");
+        let a = wf.add_task("a", "x", deco_workflow::TaskProfile::new(100.0, 0.0, 0.0));
+        let b = wf.add_task("b", "x", deco_workflow::TaskProfile::new(100.0, 0.0, 0.0));
+        let plan = Plan {
+            slots: vec![VmSlot { itype: 0, region: 0 }],
+            assign: vec![0, 0],
+            order: vec![5, 2],
+        };
+        let sched = mean_schedule(&wf, &plan, &spec);
+        assert!(sched.finish[b.index()] < sched.finish[a.index()]);
+        assert!((sched.finish[a.index()] - 200.0).abs() < 1e-9);
+    }
+}

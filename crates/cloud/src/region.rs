@@ -1,0 +1,39 @@
+//! Pricing regions.
+//!
+//! The follow-the-cost use case (Section 3.3) exploits price differences
+//! between cloud data centers: the paper uses EC2's US East and Singapore
+//! regions, whose m1.small prices differ by 33%. Migrating work to the
+//! cheaper region saves execution cost but pays inter-region transfer cost.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a region in the [`crate::CloudSpec`].
+pub type RegionId = usize;
+
+/// One cloud region (data center).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Region {
+    pub name: String,
+    /// Multiplier applied to every base instance price in this region.
+    pub price_multiplier: f64,
+}
+
+/// Identifies where an instance lives: which region, which type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Placement {
+    pub region: RegionId,
+    pub itype: crate::instance::InstanceTypeId,
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::instance::CloudSpec;
+
+    #[test]
+    fn ec2_has_two_regions() {
+        let spec = CloudSpec::amazon_ec2();
+        assert_eq!(spec.regions.len(), 2);
+        assert_eq!(spec.regions[0].name, "us-east-1");
+        assert!(spec.regions[1].price_multiplier > spec.regions[0].price_multiplier);
+    }
+}

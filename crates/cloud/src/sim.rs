@@ -1,0 +1,519 @@
+//! The workflow execution engine.
+//!
+//! Runs one workflow under a [`Plan`] against the dynamic cloud: tasks wait
+//! for their parents' data (network transfer when the parent ran on a
+//! different instance, inter-region transfer with networking cost when it
+//! ran in a different region), execute their CPU phase deterministically
+//! and their I/O phase against per-second bandwidth draws, and occupy their
+//! instance exclusively while running. Billing follows the per-started-hour
+//! model.
+//!
+//! The engine is *resumable*: `run_until` advances the dispatch clock only
+//! to a given simulated time, after which unstarted tasks may be reassigned
+//! (the follow-the-cost runtime re-optimization loop) before resuming.
+
+use crate::billing::CostLedger;
+use crate::dynamics;
+use crate::instance::CloudSpec;
+use crate::plan::Plan;
+use deco_prob::DecoRng;
+use deco_workflow::{TaskId, Workflow};
+
+/// Outcome of a (completed) run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Completion time of the last task, seconds.
+    pub makespan: f64,
+    /// Instance-hour and transfer costs.
+    pub cost: CostLedger,
+    /// Per-task finish times.
+    pub finish: Vec<f64>,
+    /// Per-task measured execution durations (excluding waiting), the
+    /// signal the follow-the-cost Heuristic monitors.
+    pub durations: Vec<f64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum TaskState {
+    /// Not yet dispatched.
+    Pending,
+    /// Dispatched; will complete at `.0`.
+    Started { start: f64, finish: f64 },
+}
+
+/// A resumable execution of one workflow under one plan.
+pub struct Simulation<'a> {
+    spec: &'a CloudSpec,
+    wf: &'a Workflow,
+    plan: Plan,
+    rng: DecoRng,
+    state: Vec<TaskState>,
+    /// Time each slot becomes free (monotone per slot).
+    slot_free: Vec<f64>,
+    /// Busy span per slot: (first start, last finish).
+    slot_span: Vec<Option<(f64, f64)>>,
+    /// Cross-region bytes moved (for the networking bill).
+    cross_bytes: f64,
+    /// Plan-honoring dispatch sequence (precedence-respecting, ordered by
+    /// the plan's ranks).
+    dispatch: Vec<TaskId>,
+    /// Memoized `(input_ready_time, cross_region_bytes)` per task:
+    /// transfers are sampled exactly once no matter how many dispatch
+    /// scans look at the task, and the cross-region bytes are billed only
+    /// when the task actually dispatches. Invalidated on reassignment.
+    iready: Vec<Option<(f64, f64)>>,
+    /// Dispatch horizon reached so far.
+    clock: f64,
+    started: usize,
+}
+
+impl<'a> Simulation<'a> {
+    pub fn new(spec: &'a CloudSpec, wf: &'a Workflow, plan: Plan, rng: DecoRng) -> Self {
+        plan.validate(wf, spec).expect("invalid plan");
+        let n_slots = plan.slots.len();
+        let dispatch = plan.dispatch_order(wf);
+        Simulation {
+            spec,
+            wf,
+            plan,
+            rng,
+            state: vec![TaskState::Pending; wf.len()],
+            slot_free: vec![0.0; n_slots],
+            slot_span: vec![None; n_slots],
+            cross_bytes: 0.0,
+            dispatch,
+            iready: vec![None; wf.len()],
+            clock: 0.0,
+            started: 0,
+        }
+    }
+
+    /// The plan currently in force.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// Current dispatch horizon.
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// Whether a task has been dispatched (it can no longer be reassigned).
+    pub fn is_started(&self, t: TaskId) -> bool {
+        !matches!(self.state[t.index()], TaskState::Pending)
+    }
+
+    /// Realized execution duration of a dispatched task (the monitored
+    /// signal of the follow-the-cost Heuristic); `None` while pending.
+    pub fn duration_of(&self, t: TaskId) -> Option<f64> {
+        match self.state[t.index()] {
+            TaskState::Started { start, finish } => Some(finish - start),
+            TaskState::Pending => None,
+        }
+    }
+
+    /// Scheduled finish time of a dispatched task.
+    pub fn finish_of(&self, t: TaskId) -> Option<f64> {
+        match self.state[t.index()] {
+            TaskState::Started { finish, .. } => Some(finish),
+            TaskState::Pending => None,
+        }
+    }
+
+    /// Tasks not yet dispatched (the `Unfinished` set of Equation (7)).
+    pub fn pending_tasks(&self) -> Vec<TaskId> {
+        self.wf
+            .task_ids()
+            .filter(|&t| !self.is_started(t))
+            .collect()
+    }
+
+    /// Reassign an unstarted task to a fresh instance. Used by runtime
+    /// re-optimization; panics if the task has already been dispatched.
+    pub fn reassign(&mut self, t: TaskId, slot: crate::plan::VmSlot) {
+        self.reassign_group(std::slice::from_ref(&t), slot);
+    }
+
+    /// Reassign a group of unstarted tasks onto **one** fresh instance —
+    /// migration preserves consolidation (the Merge/Co-Scheduling
+    /// operations) rather than paying a partial instance-hour per task.
+    pub fn reassign_group(&mut self, tasks: &[TaskId], slot: crate::plan::VmSlot) {
+        if tasks.is_empty() {
+            return;
+        }
+        for &t in tasks {
+            assert!(
+                !self.is_started(t),
+                "cannot migrate {t}: it already started"
+            );
+        }
+        let idx = self.plan.slots.len();
+        self.plan.slots.push(slot);
+        self.slot_free.push(0.0);
+        self.slot_span.push(None);
+        for &t in tasks {
+            self.plan.assign[t.index()] = idx;
+        }
+        // Placement changed: every pending task's transfer picture may have
+        // changed (its own slot, or a parent's). Drop all pending caches —
+        // nothing has been billed for them yet.
+        let pending_no_cache: Vec<usize> = self
+            .wf
+            .task_ids()
+            .filter(|&t| !self.is_started(t))
+            .map(|t| t.index())
+            .collect();
+        for i in pending_no_cache {
+            self.iready[i] = None;
+        }
+    }
+
+    /// When every parent's output has arrived at `t`'s instance. `None`
+    /// while some parent is still pending. Memoized: each transfer is
+    /// sampled and billed exactly once.
+    fn input_ready(&mut self, t: TaskId) -> Option<f64> {
+        if let Some((cached, _)) = self.iready[t.index()] {
+            return Some(cached);
+        }
+        let my_slot = self.plan.assign[t.index()];
+        let mut ready = 0.0f64;
+        let mut cross_bytes = 0.0f64;
+        let parents: Vec<TaskId> = self.wf.parents(t).collect();
+        for p in parents {
+            let pf = match self.state[p.index()] {
+                TaskState::Started { finish, .. } => finish,
+                TaskState::Pending => return None,
+            };
+            let p_slot = self.plan.assign[p.index()];
+            let mut at = pf;
+            if p_slot != my_slot {
+                let bytes = self.wf.edge_bytes(p, t).unwrap_or(0.0);
+                let from = self.plan.slots[p_slot];
+                let to = self.plan.slots[my_slot];
+                let cross = from.region != to.region;
+                at += dynamics::transfer_seconds(
+                    self.spec,
+                    from.itype,
+                    to.itype,
+                    cross,
+                    bytes,
+                    &mut self.rng,
+                );
+                if cross {
+                    cross_bytes += bytes;
+                }
+            }
+            ready = ready.max(at);
+        }
+        self.iready[t.index()] = Some((ready, cross_bytes));
+        Some(ready)
+    }
+
+    /// Dispatch tasks whose start time falls strictly before `horizon`.
+    ///
+    /// Tasks are taken in the plan's dispatch order, and a slot's queue is
+    /// never reordered: when a task cannot be dispatched yet (parents
+    /// pending, or its start falls beyond the horizon), its instance is
+    /// blocked for the rest of the pass so later-ranked slot-mates cannot
+    /// jump ahead of it. This matches the planner's evaluation of the plan
+    /// exactly; dispatching fixes the task's start and finish, so the pass
+    /// loop is an exact discrete-event execution of the plan.
+    pub fn run_until(&mut self, horizon: f64) -> usize {
+        let mut dispatched = 0;
+        loop {
+            let mut any = false;
+            let mut blocked = vec![false; self.plan.slots.len()];
+            let order = std::mem::take(&mut self.dispatch);
+            for &t in &order {
+                if self.is_started(t) {
+                    continue;
+                }
+                let slot = self.plan.assign[t.index()];
+                if blocked[slot] {
+                    continue;
+                }
+                let Some(ir) = self.input_ready(t) else {
+                    blocked[slot] = true;
+                    continue;
+                };
+                let start = ir.max(self.slot_free[slot]);
+                if start >= horizon {
+                    blocked[slot] = true;
+                    continue;
+                }
+                let vt = self.plan.slots[slot].itype;
+                // Bill the task's inbound cross-region transfer now that it
+                // is definitely dispatching under this placement.
+                self.cross_bytes += self.iready[t.index()].map_or(0.0, |(_, b)| b);
+                let prof = &self.wf.task(t).profile;
+                let dur = dynamics::task_seconds(
+                    self.spec,
+                    vt,
+                    prof.cpu_seconds,
+                    prof.io_bytes(),
+                    &mut self.rng,
+                );
+                let finish = start + dur;
+                self.state[t.index()] = TaskState::Started { start, finish };
+                self.slot_free[slot] = finish;
+                self.slot_span[slot] = Some(match self.slot_span[slot] {
+                    None => (start, finish),
+                    Some((a, b)) => (a.min(start), b.max(finish)),
+                });
+                self.started += 1;
+                dispatched += 1;
+                any = true;
+            }
+            self.dispatch = order;
+            if !any {
+                break;
+            }
+        }
+        self.clock = horizon;
+        dispatched
+    }
+
+    /// Run to completion and report.
+    pub fn finish(mut self) -> RunResult {
+        self.run_until(f64::INFINITY);
+        assert_eq!(
+            self.started,
+            self.wf.len(),
+            "all tasks must have been dispatched"
+        );
+        let mut finish = vec![0.0; self.wf.len()];
+        let mut durations = vec![0.0; self.wf.len()];
+        let mut makespan = 0.0f64;
+        for t in self.wf.task_ids() {
+            if let TaskState::Started { start, finish: f } = self.state[t.index()] {
+                finish[t.index()] = f;
+                durations[t.index()] = f - start;
+                makespan = makespan.max(f);
+            }
+        }
+        let mut cost = CostLedger::default();
+        for (slot, span) in self.plan.slots.iter().zip(&self.slot_span) {
+            if let Some((a, b)) = span {
+                cost.add_instance(
+                    b - a,
+                    self.spec.billing_quantum,
+                    self.spec.price(slot.itype, slot.region),
+                );
+            }
+        }
+        cost.add_transfer(self.cross_bytes, self.spec.inter_region_price_per_gb);
+        RunResult {
+            makespan,
+            cost,
+            finish,
+            durations,
+        }
+    }
+}
+
+/// A runtime re-optimization policy: consulted at every decision epoch and
+/// allowed to reassign any not-yet-dispatched task (the follow-the-cost
+/// problem's migration decisions, Section 3.3).
+pub trait RuntimePolicy {
+    /// Observe the simulation at its current horizon and migrate pending
+    /// tasks by calling [`Simulation::reassign`].
+    fn replan(&mut self, sim: &mut Simulation<'_>, wf: &Workflow);
+}
+
+/// Execute `wf` under `plan`, consulting `policy` every `epoch_seconds` of
+/// simulated time until every task has been dispatched.
+pub fn run_with_policy(
+    spec: &CloudSpec,
+    wf: &Workflow,
+    plan: &Plan,
+    policy: &mut dyn RuntimePolicy,
+    epoch_seconds: f64,
+    seed: u64,
+) -> RunResult {
+    assert!(epoch_seconds > 0.0);
+    let rng = deco_prob::rng::seeded(seed);
+    let mut sim = Simulation::new(spec, wf, plan.clone(), rng);
+    let mut horizon = epoch_seconds;
+    while !sim.pending_tasks().is_empty() {
+        sim.run_until(horizon);
+        if sim.pending_tasks().is_empty() {
+            break;
+        }
+        policy.replan(&mut sim, wf);
+        horizon += epoch_seconds;
+    }
+    sim.finish()
+}
+
+/// One-shot convenience: run `wf` under `plan` with a seeded RNG.
+pub fn run_plan(spec: &CloudSpec, wf: &Workflow, plan: &Plan, seed: u64) -> RunResult {
+    let rng = deco_prob::rng::seeded(seed);
+    Simulation::new(spec, wf, plan.clone(), rng).finish()
+}
+
+/// Run `samples` independent executions and collect makespans and costs —
+/// the "run the compared algorithms 100 times" protocol of Section 6.1.
+pub fn run_plan_many(
+    spec: &CloudSpec,
+    wf: &Workflow,
+    plan: &Plan,
+    samples: usize,
+    seed: u64,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut makespans = Vec::with_capacity(samples);
+    let mut costs = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let r = run_plan(spec, wf, plan, deco_prob::rng::splitmix64(seed ^ i as u64));
+        makespans.push(r.makespan);
+        costs.push(r.cost.total());
+    }
+    (makespans, costs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::VmSlot;
+    use deco_prob::rng::seeded;
+    use deco_workflow::generators;
+
+    fn spec() -> CloudSpec {
+        CloudSpec::amazon_ec2()
+    }
+
+    #[test]
+    fn pipeline_executes_sequentially() {
+        let spec = spec();
+        let wf = generators::pipeline(4, 10.0, 0);
+        let plan = Plan::packed(&wf, &vec![0; 4], 0, &spec);
+        let r = run_plan(&spec, &wf, &plan, 1);
+        // Pure CPU on ECU-1: each task exactly 10 s, chained: 40 s.
+        assert!((r.makespan - 40.0).abs() < 1e-6, "makespan {}", r.makespan);
+        // One instance, 40 s busy -> one instance-hour of m1.small.
+        assert!((r.cost.total() - 0.044).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fork_join_runs_in_parallel() {
+        let spec = spec();
+        let wf = generators::fork_join(4, 100.0, 0.0);
+        let plan = Plan::packed(&wf, &vec![0; wf.len()], 0, &spec);
+        let r = run_plan(&spec, &wf, &plan, 2);
+        // src 100 + worker 100 + sink 100 = 300, not 100*6.
+        assert!((r.makespan - 300.0).abs() < 1e-6, "makespan {}", r.makespan);
+    }
+
+    #[test]
+    fn same_slot_serializes() {
+        let spec = spec();
+        let wf = generators::fork_join(4, 100.0, 0.0);
+        // Everything on a single slot.
+        let plan = Plan {
+            slots: vec![VmSlot { itype: 0, region: 0 }],
+            assign: vec![0; wf.len()],
+            order: (0..wf.len() as u32).collect(),
+        };
+        let r = run_plan(&spec, &wf, &plan, 3);
+        assert!((r.makespan - 600.0).abs() < 1e-6, "6 tasks serialized");
+    }
+
+    #[test]
+    fn bigger_instances_are_faster_but_pricier() {
+        let spec = spec();
+        let wf = generators::montage(1, 5);
+        let small = run_plan(&spec, &wf, &Plan::packed(&wf, &vec![0; wf.len()], 0, &spec), 4);
+        let xlarge = run_plan(&spec, &wf, &Plan::packed(&wf, &vec![3; wf.len()], 0, &spec), 4);
+        assert!(xlarge.makespan < small.makespan);
+        assert!(xlarge.cost.total() > small.cost.total());
+    }
+
+    #[test]
+    fn makespan_varies_across_runs_under_dynamics() {
+        // Figure 2: execution time varies run to run.
+        let spec = spec();
+        let wf = generators::montage(1, 6);
+        let plan = Plan::packed(&wf, &vec![1; wf.len()], 0, &spec);
+        let (makespans, _) = run_plan_many(&spec, &wf, &plan, 20, 7);
+        let min = makespans.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = makespans.iter().cloned().fold(0.0f64, f64::max);
+        assert!(max > min, "dynamics must induce variance");
+    }
+
+    #[test]
+    fn cross_region_parent_incurs_transfer_cost() {
+        let spec = spec();
+        let wf = generators::pipeline(2, 1.0, 512 * 1024 * 1024); // 512 MB stage
+        let plan = Plan {
+            slots: vec![
+                VmSlot { itype: 0, region: 0 },
+                VmSlot { itype: 0, region: 1 },
+            ],
+            assign: vec![0, 1],
+            order: vec![0, 1],
+        };
+        let r = run_plan(&spec, &wf, &plan, 8);
+        assert!(r.cost.transfer > 0.0, "cross-region edge must be billed");
+        // Same-region version pays no transfer.
+        let local = Plan {
+            slots: vec![
+                VmSlot { itype: 0, region: 0 },
+                VmSlot { itype: 0, region: 0 },
+            ],
+            assign: vec![0, 1],
+            order: vec![0, 1],
+        };
+        let r2 = run_plan(&spec, &wf, &local, 8);
+        assert_eq!(r2.cost.transfer, 0.0);
+        assert!(r.makespan > r2.makespan, "cross-region transfer is slower");
+    }
+
+    #[test]
+    fn run_until_dispatches_incrementally() {
+        let spec = spec();
+        let wf = generators::pipeline(3, 100.0, 0);
+        let plan = Plan::packed(&wf, &vec![0; 3], 0, &spec);
+        let mut sim = Simulation::new(&spec, &wf, plan, seeded(9));
+        // Horizon 150 s: tasks starting at 0 and 100 dispatch; 200 does not.
+        let n = sim.run_until(150.0);
+        assert_eq!(n, 2);
+        assert_eq!(sim.pending_tasks().len(), 1);
+        let r = sim.finish();
+        assert!((r.makespan - 300.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reassign_moves_pending_task_to_new_region() {
+        let spec = spec();
+        let wf = generators::pipeline(2, 50.0, 1024);
+        let plan = Plan::packed(&wf, &vec![0; 2], 0, &spec);
+        let mut sim = Simulation::new(&spec, &wf, plan, seeded(10));
+        sim.run_until(10.0); // first task dispatched
+        let pending = sim.pending_tasks();
+        assert_eq!(pending.len(), 1);
+        sim.reassign(pending[0], VmSlot { itype: 1, region: 1 });
+        let r = sim.finish();
+        assert!(r.cost.transfer > 0.0, "migrated task pulls data cross-region");
+    }
+
+    #[test]
+    #[should_panic]
+    fn reassigning_started_task_panics() {
+        let spec = spec();
+        let wf = generators::pipeline(2, 50.0, 1024);
+        let plan = Plan::packed(&wf, &vec![0; 2], 0, &spec);
+        let mut sim = Simulation::new(&spec, &wf, plan, seeded(11));
+        sim.run_until(10.0);
+        sim.reassign(deco_workflow::TaskId(0), VmSlot { itype: 1, region: 1 });
+    }
+
+    #[test]
+    fn durations_exclude_wait_time() {
+        let spec = spec();
+        let wf = generators::pipeline(2, 10.0, 0);
+        let plan = Plan::packed(&wf, &vec![0; 2], 0, &spec);
+        let r = run_plan(&spec, &wf, &plan, 12);
+        assert!((r.durations[0] - 10.0).abs() < 1e-6);
+        assert!((r.durations[1] - 10.0).abs() < 1e-6);
+        assert!((r.finish[1] - 20.0).abs() < 1e-6);
+    }
+}

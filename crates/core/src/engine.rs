@@ -1,0 +1,449 @@
+//! The Deco engine: WLog programs in, provisioning plans out (Figure 3).
+//!
+//! `import(<cloud>)` injects the calibrated cloud facts (`vm/1`, `price/2`
+//! and the histogram-expanded `exetime/3` groups) from the metadata store;
+//! `import(<workflow>)` injects the workflow facts (`task/1`, `edge/2`,
+//! plus the virtual `root`/`tail` tasks). The optimization variables come
+//! from the program's `forall` declaration — the engine recognizes the
+//! paper's indicator shape `configs(Tid, Vid, Con)` with the one-hot
+//! constraint of Section 3.1 (exactly one type per task) and searches
+//! type-vector states, evaluating each state by swapping its `configs`
+//! facts into the interpreter and running Monte-Carlo inference on the
+//! goal and constraints (Algorithms 1 and 2).
+//!
+//! The typed fast path ([`Deco::plan_workflow`]) runs the same three-part
+//! pipeline with a compiled evaluator; the integration tests cross-check
+//! the two paths on workflows small enough for the interpreter.
+
+use crate::estimate::ExecTimeTable;
+use crate::scheduling::SchedulingProblem;
+use deco_cloud::{CloudSpec, MetadataStore, Plan};
+use deco_solver::transform::schedule_neighbors;
+use deco_solver::{
+    astar_search, beam_search, EvalBackend, Evaluation, SearchOptions, SearchProblem,
+    SearchStats,
+};
+use deco_wlog::ast::Term;
+use deco_wlog::problog::{Evaluator, ProbProgram};
+use deco_wlog::program::{WlogError, WlogProgram};
+use deco_workflow::Workflow;
+use parking_lot::Mutex;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct DecoOptions {
+    /// Monte-Carlo iterations per state (the paper's `Max_iter`).
+    pub mc_iters: usize,
+    /// Search budget and seeding.
+    pub search: SearchOptions,
+    /// Beam width of the default search.
+    pub beam_width: usize,
+    /// Histogram bins for `exetime` expansion in the probabilistic IR
+    /// (kept small — each bin is one weighted fact).
+    pub wlog_bins: usize,
+}
+
+impl Default for DecoOptions {
+    fn default() -> Self {
+        DecoOptions {
+            mc_iters: 100,
+            search: SearchOptions::default(),
+            beam_width: 4,
+            wlog_bins: 5,
+        }
+    }
+}
+
+/// The provisioning plan Deco hands back to the WMS.
+#[derive(Debug, Clone)]
+pub struct DecoPlan {
+    /// Chosen instance type per task.
+    pub types: Vec<usize>,
+    /// Concrete slots (after consolidation).
+    pub plan: Plan,
+    /// The winning state's evaluation.
+    pub evaluation: Evaluation,
+    /// Search statistics (state counts, modeled device time).
+    pub stats: SearchStats,
+}
+
+/// The declarative optimization engine.
+pub struct Deco {
+    pub store: MetadataStore,
+    pub options: DecoOptions,
+}
+
+impl Deco {
+    pub fn new(store: MetadataStore) -> Self {
+        Deco {
+            store,
+            options: DecoOptions::default(),
+        }
+    }
+
+    fn spec(&self) -> &CloudSpec {
+        &self.store.spec
+    }
+
+    /// Typed fast path for the scheduling problem: same pipeline, compiled
+    /// evaluator, suitable for 1000-task workflows.
+    pub fn plan_workflow(
+        &self,
+        wf: &Workflow,
+        deadline: f64,
+        percentile: f64,
+        backend: &EvalBackend,
+    ) -> Option<DecoPlan> {
+        let mut problem = SchedulingProblem::new(wf, self.spec(), &self.store, deadline, percentile);
+        problem.mc_iters = self.options.mc_iters;
+        let result = problem.solve_beam(&self.options.search, self.options.beam_width, backend);
+        result.best.map(|(types, evaluation)| DecoPlan {
+            plan: problem.plan_of(&types),
+            types,
+            evaluation,
+            stats: result.stats,
+        })
+    }
+
+    /// The full declarative path: parse and run a WLog program against a
+    /// workflow (resolving `import(...)`s), returning the best plan.
+    pub fn plan_workflow_wlog(
+        &self,
+        program_src: &str,
+        wf: &Workflow,
+        backend: &EvalBackend,
+    ) -> Result<DecoPlan, WlogError> {
+        let program = WlogProgram::parse(program_src)?;
+        program.validate()?;
+        let goal = program.goal.clone().expect("validated");
+        if program.constraints.is_empty() {
+            return Err(WlogError::Program(
+                "scheduling programs need at least one constraint".into(),
+            ));
+        }
+
+        // --- translate to the probabilistic IR (Section 5.1) -------------
+        let mut prob = ProbProgram::new();
+        for c in &program.clauses {
+            prob.push_certain(c.clone());
+        }
+        let k = self.spec().k();
+        // Cloud facts from import(cloud): vm ids and per-second prices.
+        for j in 0..k {
+            prob.push_certain(deco_wlog::ast::Clause::fact(Term::compound(
+                "vm",
+                vec![vm_atom(j)],
+            )));
+            prob.push_certain(deco_wlog::ast::Clause::fact(Term::compound(
+                "price",
+                vec![
+                    vm_atom(j),
+                    Term::num(self.spec().types[j].price_per_hour / 3600.0),
+                ],
+            )));
+        }
+        // Workflow facts from import(workflow): tasks, edges, virtual
+        // root/tail.
+        for t in wf.task_ids() {
+            prob.push_certain(deco_wlog::ast::Clause::fact(Term::compound(
+                "task",
+                vec![task_atom(t.index())],
+            )));
+        }
+        for e in wf.edges() {
+            prob.push_certain(edge_fact(task_atom(e.from.index()), task_atom(e.to.index())));
+        }
+        for r in wf.roots() {
+            prob.push_certain(edge_fact(Term::atom("root"), task_atom(r.index())));
+        }
+        for s in wf.sinks() {
+            prob.push_certain(edge_fact(task_atom(s.index()), Term::atom("tail")));
+        }
+        // The virtual root costs nothing on any instance.
+        prob.push_certain(deco_wlog::ast::Clause::fact(Term::compound(
+            "exetime",
+            vec![Term::atom("root"), vm_atom(0), Term::num(0.0)],
+        )));
+        // exetime groups: one annotated disjunction per (task, type), one
+        // alternative per histogram bin (the `p_j : exetime(...)` facts).
+        let table = ExecTimeTable::build(wf, &self.store, self.options.wlog_bins);
+        for t in wf.task_ids() {
+            for j in 0..k {
+                let alts: Vec<(f64, Term)> = table
+                    .hist(t.index(), j)
+                    .points()
+                    .filter(|(_, p)| *p > 0.0)
+                    .map(|(x, p)| {
+                        (
+                            p,
+                            Term::compound(
+                                "exetime",
+                                vec![task_atom(t.index()), vm_atom(j), Term::num(x)],
+                            ),
+                        )
+                    })
+                    .collect();
+                prob.push_group(alts);
+            }
+        }
+
+        // --- search (Section 5.3) ----------------------------------------
+        let var_functor = program
+            .var_functors()
+            .first()
+            .cloned()
+            .ok_or_else(|| WlogError::Program("no optimization variable".into()))?;
+        let problem = WlogSchedulingProblem {
+            wf,
+            spec: self.spec(),
+            evaluator: Mutex::new(Evaluator::new(prob)),
+            program: program.clone(),
+            goal_minimize: goal.kind == deco_wlog::program::GoalKind::Minimize,
+            var_functor,
+            mc_iters: self.options.mc_iters,
+            state_bytes: table.state_bytes(),
+        };
+        // The interpreter serializes state evaluation (the Mutex), so the
+        // WLog path always runs the sequential backend; the typed path is
+        // the one the device-model comparisons use.
+        let _ = backend;
+        let seq = EvalBackend::SeqCpu;
+        let result = if program.astar {
+            astar_search(&problem, &self.options.search, &seq)
+        } else {
+            beam_search(
+                &problem,
+                &self.options.search,
+                self.options.beam_width,
+                &seq,
+            )
+        };
+        let (types, evaluation) = result
+            .best
+            .ok_or_else(|| WlogError::Program("no feasible provisioning plan found".into()))?;
+        Ok(DecoPlan {
+            plan: Plan::packed(wf, &types, 0, self.spec()),
+            types,
+            evaluation,
+            stats: result.stats,
+        })
+    }
+}
+
+fn task_atom(i: usize) -> Term {
+    Term::atom(format!("t{i}"))
+}
+
+fn vm_atom(j: usize) -> Term {
+    Term::atom(format!("v{j}"))
+}
+
+fn edge_fact(from: Term, to: Term) -> deco_wlog::ast::Clause {
+    deco_wlog::ast::Clause::fact(Term::compound("edge", vec![from, to]))
+}
+
+/// The scheduling problem evaluated through the WLog interpreter.
+struct WlogSchedulingProblem<'a> {
+    wf: &'a Workflow,
+    spec: &'a CloudSpec,
+    evaluator: Mutex<Evaluator>,
+    program: WlogProgram,
+    goal_minimize: bool,
+    var_functor: (String, usize),
+    mc_iters: usize,
+    state_bytes: usize,
+}
+
+impl WlogSchedulingProblem<'_> {
+    /// The state's `configs` facts: one-hot per task, plus the virtual
+    /// root's fixed configuration.
+    fn state_facts(&self, s: &[usize]) -> Vec<Term> {
+        let mut facts: Vec<Term> = s
+            .iter()
+            .enumerate()
+            .map(|(i, &j)| {
+                Term::compound(
+                    "configs",
+                    vec![task_atom(i), vm_atom(j), Term::num(1.0)],
+                )
+            })
+            .collect();
+        facts.push(Term::compound(
+            "configs",
+            vec![Term::atom("root"), vm_atom(0), Term::num(1.0)],
+        ));
+        facts
+    }
+}
+
+impl SearchProblem for WlogSchedulingProblem<'_> {
+    type State = Vec<usize>;
+
+    fn initial(&self) -> Vec<usize> {
+        vec![self.spec.cheapest_type(); self.wf.len()]
+    }
+
+    fn neighbors(&self, s: &Vec<usize>) -> Vec<Vec<usize>> {
+        schedule_neighbors(self.wf, s, self.spec.k(), false)
+    }
+
+    fn evaluate(&self, s: &Vec<usize>, seed: u64) -> Evaluation {
+        let mut ev = self.evaluator.lock();
+        let (f, a) = (self.var_functor.0.as_str(), self.var_functor.1);
+        ev.set_state_facts(f, a, self.state_facts(s));
+        let mut rng = deco_prob::rng::seeded(seed);
+        // Constraints first (Algorithm 2 line 5 queries feasibility and
+        // cost of the state).
+        let mut feasible = true;
+        let mut margin = 1.0f64;
+        for cons in &self.program.constraints {
+            match ev.constraint(cons, self.mc_iters, &mut rng) {
+                Ok((ok, est)) => {
+                    feasible &= ok;
+                    margin = margin.min(est.value);
+                }
+                Err(_) => {
+                    feasible = false;
+                    margin = 0.0;
+                }
+            }
+        }
+        let goal = self.program.goal.as_ref().expect("validated");
+        let objective = match ev.goal_value(goal, self.mc_iters, &mut rng) {
+            Ok(est) => est.value,
+            Err(_) => {
+                return Evaluation::infeasible(if self.goal_minimize {
+                    f64::INFINITY
+                } else {
+                    f64::NEG_INFINITY
+                })
+            }
+        };
+        Evaluation {
+            feasible,
+            objective,
+            constraint_margin: margin,
+        }
+    }
+
+    fn minimize(&self) -> bool {
+        self.goal_minimize
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.state_bytes
+    }
+
+    fn threads_per_state(&self) -> usize {
+        self.mc_iters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deco_workflow::generators;
+
+    fn deco() -> Deco {
+        let spec = CloudSpec::amazon_ec2();
+        let store = MetadataStore::from_ground_truth(spec, 25);
+        let mut d = Deco::new(store);
+        d.options.mc_iters = 40;
+        d.options.search.max_states = 400;
+        d
+    }
+
+    /// Example 1 of the paper, parameterized by the deadline literal.
+    fn example1(deadline_secs: f64, percentile: u32) -> String {
+        format!(
+            r#"
+import(amazonec2).
+import(workflow).
+minimize Ct in totalcost(Ct).
+T in maxtime(Path,T) satisfies deadline({percentile}%, {deadline_secs}s).
+configs(Tid,Vid,Con) forall task(Tid) and vm(Vid).
+
+path(X,Y,Y,Tp) :- edge(X,Y), exetime(X,Vid,T),
+  configs(X,Vid,Con), Con==1, Tp is T.
+path(X,Y,Z,Tp) :- edge(X,Z), Z\==Y, path(Z,Y,Z2,T1),
+  exetime(X,Vid,T), configs(X,Vid,Con), Con==1, Tp is T+T1.
+maxtime(Path,T) :- setof([Z,T1], path(root,tail,Z,T1), Set),
+  max(Set, [Path,T]).
+cost(Tid,Vid,C) :- price(Vid,Up), exetime(Tid,Vid,T),
+  configs(Tid,Vid,Con), C is T*Up*Con.
+totalcost(Ct) :- findall(C, cost(Tid,Vid,C), Bag), sum(Bag, Ct).
+"#
+        )
+    }
+
+    #[test]
+    fn example1_runs_end_to_end_on_a_pipeline() {
+        let d = deco();
+        let wf = generators::pipeline(3, 900.0, 16 << 20);
+        // Deadline between all-small and all-xlarge critical paths.
+        let (dmin, dmax) = crate::estimate::deadline_anchors(&wf, &d.store.spec);
+        let deadline = 0.5 * (dmin + dmax);
+        let plan = d
+            .plan_workflow_wlog(&example1(deadline, 90), &wf, &EvalBackend::SeqCpu)
+            .expect("program must produce a plan");
+        assert!(plan.evaluation.feasible);
+        assert!(plan.evaluation.constraint_margin >= 0.9);
+        assert_eq!(plan.types.len(), 3);
+        plan.plan.validate(&wf, &d.store.spec).unwrap();
+        // The deadline forces at least one task off the cheapest type.
+        assert!(plan.types.iter().any(|&t| t > 0));
+    }
+
+    #[test]
+    fn impossible_deadline_reports_no_plan() {
+        let d = deco();
+        let wf = generators::pipeline(2, 900.0, 0);
+        let err = d
+            .plan_workflow_wlog(&example1(1.0, 99), &wf, &EvalBackend::SeqCpu)
+            .unwrap_err();
+        assert!(matches!(err, WlogError::Program(_)));
+    }
+
+    #[test]
+    fn looser_deadline_is_not_more_expensive() {
+        let d = deco();
+        let wf = generators::pipeline(3, 900.0, 16 << 20);
+        let (dmin, dmax) = crate::estimate::deadline_anchors(&wf, &d.store.spec);
+        let tight = d
+            .plan_workflow_wlog(&example1(dmin * 1.4, 90), &wf, &EvalBackend::SeqCpu)
+            .expect("tight");
+        let loose = d
+            .plan_workflow_wlog(&example1(dmax * 2.0, 90), &wf, &EvalBackend::SeqCpu)
+            .expect("loose");
+        // Fractional (Equation (1)) cost comparison.
+        assert!(loose.evaluation.objective <= tight.evaluation.objective + 1e-9);
+    }
+
+    #[test]
+    fn astar_program_is_accepted() {
+        let d = deco();
+        let wf = generators::pipeline(2, 600.0, 0);
+        let (dmin, dmax) = crate::estimate::deadline_anchors(&wf, &d.store.spec);
+        let src = format!(
+            "{}\nenabled(astar).\ncal_g_score(C) :- totalcost(C).\nest_h_score(C) :- totalcost(C).\n",
+            example1(0.5 * (dmin + dmax), 90)
+        );
+        let plan = d
+            .plan_workflow_wlog(&src, &wf, &EvalBackend::SeqCpu)
+            .expect("astar path");
+        assert!(plan.evaluation.feasible);
+    }
+
+    #[test]
+    fn typed_path_produces_valid_plans() {
+        let d = deco();
+        let wf = generators::montage(1, 13);
+        let (dmin, dmax) = crate::estimate::deadline_anchors(&wf, &d.store.spec);
+        let plan = d
+            .plan_workflow(&wf, 0.5 * (dmin + dmax), 0.9, &EvalBackend::SeqCpu)
+            .expect("feasible");
+        plan.plan.validate(&wf, &d.store.spec).unwrap();
+        assert!(plan.evaluation.feasible);
+        assert!(plan.stats.states_evaluated > 0);
+    }
+}

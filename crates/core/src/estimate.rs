@@ -1,0 +1,302 @@
+//! Task execution-time estimation and Monte-Carlo state evaluation.
+//!
+//! Following the paper's estimation approach (Section 5.1, after Yu et
+//! al. and Pietri et al.): a task's execution time on an instance is its
+//! CPU time scaled by the instance speed plus its I/O and network time,
+//! and because I/O and network performance are dynamic, the estimate is a
+//! *distribution* — here a histogram derived from the calibrated metadata
+//! store, never from the simulator's ground truth.
+
+use deco_cloud::plan::{exec_time_hist, Plan};
+use deco_cloud::{CloudSpec, MetadataStore};
+use deco_prob::rng::split_indexed;
+use deco_prob::{DecoRng, Histogram};
+use deco_workflow::Workflow;
+
+/// Precomputed per-(task, type) execution-time histograms for one
+/// workflow — the `T_ij(t)` table of Equation (2).
+#[derive(Debug, Clone)]
+pub struct ExecTimeTable {
+    /// `hists[task][type]`, rebinned to `bins` bins.
+    hists: Vec<Vec<Histogram>>,
+    /// Mean of each histogram (cached; Equation (2)'s `M_ij`).
+    means: Vec<Vec<f64>>,
+    /// Bins per histogram.
+    bins: usize,
+}
+
+impl ExecTimeTable {
+    /// Build the table from the metadata store.
+    pub fn build(wf: &Workflow, store: &MetadataStore, bins: usize) -> Self {
+        assert!(bins >= 2);
+        let k = store.spec.k();
+        let mut hists = Vec::with_capacity(wf.len());
+        for t in wf.task_ids() {
+            let row: Vec<Histogram> = (0..k)
+                .map(|ty| exec_time_hist(store, ty, wf, t).rebin(bins))
+                .collect();
+            hists.push(row);
+        }
+        let means = hists
+            .iter()
+            .map(|row| row.iter().map(|h| h.mean()).collect())
+            .collect();
+        ExecTimeTable { hists, means, bins }
+    }
+
+    pub fn hist(&self, task: usize, ty: usize) -> &Histogram {
+        &self.hists[task][ty]
+    }
+
+    /// `M_ij`: mean execution time of task `i` on type `j`.
+    pub fn mean(&self, task: usize, ty: usize) -> f64 {
+        self.means[task][ty]
+    }
+
+    pub fn k(&self) -> usize {
+        self.hists.first().map_or(0, |r| r.len())
+    }
+
+    pub fn n_tasks(&self) -> usize {
+        self.hists.len()
+    }
+
+    /// Bytes one provisioning state occupies in the evaluation kernel's
+    /// working set (the paper stages each thread's temporary results in
+    /// GPU shared memory): per task, the 4-byte configuration, two staged
+    /// f64 accumulators (sampled duration, running path length) and the
+    /// active row of the execution-time histogram (`bins` centers as f64)
+    /// from which the block's threads sample.
+    pub fn state_bytes(&self) -> usize {
+        self.n_tasks() * (4 + 16 + 8 * self.bins)
+    }
+}
+
+/// One Monte-Carlo realization of a plan's schedule: list-schedules the
+/// DAG with task durations sampled from the estimate table and transfers
+/// at their mean, returning `(makespan, cost)`.
+///
+/// This is the paper's state evaluation: makespan against the
+/// probabilistic deadline, cost as the objective (Equations (1)–(3)).
+pub fn sampled_schedule(
+    wf: &Workflow,
+    plan: &Plan,
+    table: &ExecTimeTable,
+    spec: &CloudSpec,
+    rng: &mut DecoRng,
+) -> (f64, f64) {
+    let mut slot_free = vec![0.0f64; plan.slots.len()];
+    let mut slot_span: Vec<Option<(f64, f64)>> = vec![None; plan.slots.len()];
+    let mut finish = vec![0.0f64; wf.len()];
+    let mut cross_bytes = 0.0;
+    for t in plan.dispatch_order(wf) {
+        let my_slot = plan.assign[t.index()];
+        let mut ready = 0.0f64;
+        for p in wf.parents(t) {
+            let p_slot = plan.assign[p.index()];
+            let mut at = finish[p.index()];
+            if p_slot != my_slot {
+                let bytes = wf.edge_bytes(p, t).unwrap_or(0.0);
+                let from = plan.slots[p_slot];
+                let to = plan.slots[my_slot];
+                if from.region != to.region {
+                    at += deco_cloud::dynamics::phase_seconds_mean(
+                        bytes,
+                        &spec.cross_region_net(),
+                    );
+                    cross_bytes += bytes;
+                } else {
+                    at += deco_cloud::dynamics::phase_seconds_mean(
+                        bytes,
+                        &spec.pair_net(from.itype, to.itype),
+                    );
+                }
+            }
+            ready = ready.max(at);
+        }
+        let start = ready.max(slot_free[my_slot]);
+        let dur = table
+            .hist(t.index(), plan.slots[my_slot].itype)
+            .sample(rng)
+            .max(0.0);
+        finish[t.index()] = start + dur;
+        slot_free[my_slot] = finish[t.index()];
+        slot_span[my_slot] = Some(match slot_span[my_slot] {
+            None => (start, finish[t.index()]),
+            Some((a, b)) => (a.min(start), b.max(finish[t.index()])),
+        });
+    }
+    let mut cost = deco_cloud::billing::CostLedger::default();
+    for (slot, span) in plan.slots.iter().zip(&slot_span) {
+        if let Some((a, b)) = span {
+            cost.add_instance(b - a, spec.billing_quantum, spec.price(slot.itype, slot.region));
+        }
+    }
+    cost.add_transfer(cross_bytes, spec.inter_region_price_per_gb);
+    let makespan = finish.iter().cloned().fold(0.0f64, f64::max);
+    (makespan, cost.total())
+}
+
+/// Monte-Carlo evaluation of a plan over `iters` realizations (Algorithm 1
+/// with the typed evaluator).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McEval {
+    /// `P(makespan <= deadline)`.
+    pub prob: f64,
+    /// Mean cost over realizations.
+    pub mean_cost: f64,
+    /// The `percentile`-quantile of the sampled makespans — the quantity
+    /// the probabilistic deadline constrains.
+    pub quantile_makespan: f64,
+}
+
+/// Monte-Carlo evaluation of a plan: deadline probability, mean cost and
+/// the `percentile`-quantile makespan.
+pub fn mc_evaluate_plan(
+    wf: &Workflow,
+    plan: &Plan,
+    table: &ExecTimeTable,
+    spec: &CloudSpec,
+    deadline: f64,
+    percentile: f64,
+    iters: usize,
+    seed: u64,
+) -> McEval {
+    assert!(iters > 0);
+    let mut rng: DecoRng = split_indexed(seed, 0x65737431);
+    let mut hits = 0usize;
+    let mut cost_sum = 0.0;
+    let mut makespans = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let (makespan, cost) = sampled_schedule(wf, plan, table, spec, &mut rng);
+        if makespan <= deadline {
+            hits += 1;
+        }
+        cost_sum += cost;
+        makespans.push(makespan);
+    }
+    McEval {
+        prob: hits as f64 / iters as f64,
+        mean_cost: cost_sum / iters as f64,
+        quantile_makespan: deco_prob::stats::quantile(&makespans, percentile.clamp(0.0, 1.0)),
+    }
+}
+
+/// The `Dmin`/`Dmax` deadline anchors of the paper's sensitivity study:
+/// expected makespan with everything on the fastest / cheapest type.
+///
+/// Computed from the mean schedule of maximally parallel packed plans so
+/// the anchors include inter-instance transfer times and readiness
+/// queueing — a pure critical-path sum undershoots them for I/O-heavy
+/// workflows, making "Dmin-relative" deadlines unachievable.
+pub fn deadline_anchors(wf: &Workflow, spec: &CloudSpec) -> (f64, f64) {
+    use deco_cloud::plan::mean_schedule;
+    let anchor = |ty: usize| {
+        let plan = Plan::packed(wf, &vec![ty; wf.len()], 0, spec);
+        mean_schedule(wf, &plan, spec).makespan
+    };
+    (anchor(spec.priciest_type()), anchor(spec.cheapest_type()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deco_cloud::plan::mean_exec_seconds;
+    use deco_workflow::generators;
+
+    fn setup() -> (Workflow, CloudSpec, MetadataStore) {
+        let spec = CloudSpec::amazon_ec2();
+        let store = MetadataStore::from_ground_truth(spec.clone(), 40);
+        let wf = generators::montage(1, 3);
+        (wf, spec, store)
+    }
+
+    #[test]
+    fn table_means_track_analytic_means() {
+        let (wf, spec, store) = setup();
+        let table = ExecTimeTable::build(&wf, &store, 12);
+        for t in wf.task_ids() {
+            for ty in 0..spec.k() {
+                let analytic = mean_exec_seconds(&spec, ty, &wf, t);
+                let tabled = table.mean(t.index(), ty);
+                assert!(
+                    (tabled - analytic).abs() / analytic.max(1e-9) < 0.08,
+                    "task {t} type {ty}: {tabled} vs {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn faster_types_have_smaller_means() {
+        let (wf, _, store) = setup();
+        let table = ExecTimeTable::build(&wf, &store, 12);
+        for t in 0..table.n_tasks() {
+            assert!(table.mean(t, 3) <= table.mean(t, 0) * 1.05);
+        }
+    }
+
+    #[test]
+    fn sampled_schedule_varies_and_centers_on_mean_schedule() {
+        let (wf, spec, store) = setup();
+        let table = ExecTimeTable::build(&wf, &store, 12);
+        let plan = Plan::packed(&wf, &vec![1; wf.len()], 0, &spec);
+        let reference = deco_cloud::plan::mean_schedule(&wf, &plan, &spec);
+        let mut rng = deco_prob::rng::seeded(5);
+        let samples: Vec<f64> = (0..200)
+            .map(|_| sampled_schedule(&wf, &plan, &table, &spec, &mut rng).0)
+            .collect();
+        let mean = deco_prob::stats::mean(&samples);
+        assert!(
+            (mean - reference.makespan).abs() / reference.makespan < 0.15,
+            "MC mean {mean} vs mean-schedule {}",
+            reference.makespan
+        );
+        assert!(deco_prob::stats::std_dev(&samples) > 0.0);
+    }
+
+    #[test]
+    fn mc_probability_is_monotone_in_deadline() {
+        let (wf, spec, store) = setup();
+        let table = ExecTimeTable::build(&wf, &store, 12);
+        let plan = Plan::packed(&wf, &vec![0; wf.len()], 0, &spec);
+        let reference = deco_cloud::plan::mean_schedule(&wf, &plan, &spec).makespan;
+        let p_tight = mc_evaluate_plan(&wf, &plan, &table, &spec, reference * 0.7, 0.9, 200, 1).prob;
+        let p_mid = mc_evaluate_plan(&wf, &plan, &table, &spec, reference, 0.9, 200, 1).prob;
+        let p_loose = mc_evaluate_plan(&wf, &plan, &table, &spec, reference * 1.5, 0.9, 200, 1).prob;
+        assert!(p_tight <= p_mid && p_mid <= p_loose);
+        assert!(p_loose > 0.9, "generous deadline should almost surely hold");
+        assert!(p_tight < 0.5, "70% of the mean should usually be missed");
+    }
+
+    #[test]
+    fn anchors_are_ordered() {
+        let (wf, spec, _) = setup();
+        let (dmin, dmax) = deadline_anchors(&wf, &spec);
+        assert!(dmin < dmax);
+        assert!(dmin > 0.0);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_in_seed() {
+        let (wf, spec, store) = setup();
+        let table = ExecTimeTable::build(&wf, &store, 12);
+        let plan = Plan::packed(&wf, &vec![2; wf.len()], 0, &spec);
+        let a = mc_evaluate_plan(&wf, &plan, &table, &spec, 500.0, 0.9, 100, 9);
+        let b = mc_evaluate_plan(&wf, &plan, &table, &spec, 500.0, 0.9, 100, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn state_bytes_scale_with_workflow_size() {
+        let spec = CloudSpec::amazon_ec2();
+        let store = MetadataStore::from_ground_truth(spec, 20);
+        let small = ExecTimeTable::build(&generators::ligo(20, 0), &store, 8);
+        let large = ExecTimeTable::build(&generators::ligo(1000, 0), &store, 8);
+        assert!(large.state_bytes() > 40 * small.state_bytes());
+        // A 1000-task state busts the K40's 48 KiB shared memory; a
+        // 20-task state fits — the Section 6.3.2 speedup-decline mechanism.
+        assert!(large.state_bytes() > 48 * 1024);
+        assert!(small.state_bytes() < 48 * 1024);
+    }
+}

@@ -1,0 +1,40 @@
+//! Deco — the declarative optimization engine (the paper's contribution).
+//!
+//! The engine's pipeline is Figure 3: a WLog program plus a workflow (DAX)
+//! plus cloud metadata are translated into a probabilistic intermediate
+//! representation; the solver searches provisioning states, evaluating
+//! each with Monte-Carlo inference; the best feasible state becomes a
+//! resource provisioning plan handed back to the WMS.
+//!
+//! Two equivalent evaluation paths are provided and cross-validated in the
+//! integration tests:
+//!
+//! * the **WLog path** ([`engine`]) — the full declarative pipeline:
+//!   programs like Example 1 are parsed, imports inject workflow and cloud
+//!   facts, `exetime` facts are expanded per histogram bin, and every
+//!   searched state is scored through the ProLog interpreter. Faithful and
+//!   flexible, but interpretation is the price (the reason the paper buys
+//!   a GPU).
+//! * the **typed path** ([`scheduling`], [`ensemble`], [`followcost`]) —
+//!   the same three optimization problems compiled to closed Rust
+//!   evaluators over the same histograms; this is what the large-scale
+//!   experiments run.
+//!
+//! * [`estimate`] — per-(task, type) execution-time distributions and the
+//!   Monte-Carlo makespan/cost evaluation of a typed state.
+//! * [`scheduling`] — use case 1 (Section 3.1): minimize cost under a
+//!   probabilistic deadline.
+//! * [`ensemble`] — use case 2 (Section 3.2): maximize ensemble score
+//!   under budget + per-workflow probabilistic deadlines.
+//! * [`followcost`] — use case 3 (Section 3.3): runtime migration across
+//!   regions minimizing cost under deadlines.
+//! * [`engine`] — the WLog front end tying everything together.
+
+pub mod engine;
+pub mod ensemble;
+pub mod estimate;
+pub mod followcost;
+pub mod scheduling;
+
+pub use engine::{Deco, DecoOptions, DecoPlan};
+pub use scheduling::{ObjectiveMode, SchedulingProblem};

@@ -1,0 +1,107 @@
+//! Device descriptions.
+
+/// Throughput description of an execution device.
+///
+/// The model is deliberately coarse — the paper's performance claims are
+/// throughput-shaped, not cycle-accurate — but every parameter is a real
+/// hardware quantity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    pub name: String,
+    /// Independent multiprocessors; each runs one block at a time in this
+    /// model (the paper launches N blocks for N SMs).
+    pub sms: usize,
+    /// Parallel lanes per SM (CUDA cores / SIMD width).
+    pub lanes_per_sm: usize,
+    /// Speed of one lane relative to one reference host core (< 1 for a
+    /// GPU lane: lower clock, in-order, no private cache).
+    pub lane_speed: f64,
+    /// Shared memory per block, bytes. Working sets beyond this spill to
+    /// global memory.
+    pub shared_mem_bytes: usize,
+    /// Penalty slope once a block's working set exceeds shared memory: the
+    /// block's time is multiplied by `1 + spill_slope * (excess_ratio)`.
+    pub spill_slope: f64,
+}
+
+impl DeviceSpec {
+    /// NVIDIA Tesla K40 (the paper's accelerator): 15 SMs × 192 lanes,
+    /// 48 KiB shared memory per block. The lane-speed ratio reflects a
+    /// 745 MHz in-order lane against a ~3 GHz out-of-order Xeon core.
+    pub fn k40() -> DeviceSpec {
+        DeviceSpec {
+            name: "tesla-k40".into(),
+            sms: 15,
+            lanes_per_sm: 192,
+            lane_speed: 1.0 / 30.0,
+            shared_mem_bytes: 48 * 1024,
+            spill_slope: 1.0,
+        }
+    }
+
+    /// The paper's CPU comparator: a 6-core Xeon running the OpenMP port of
+    /// the same algorithm. One "SM" per core with a single full-speed lane
+    /// and effectively unbounded cache-resident working set (no spill
+    /// cliff on the host for these state sizes).
+    pub fn cpu(cores: usize) -> DeviceSpec {
+        DeviceSpec {
+            name: format!("cpu-{cores}core"),
+            sms: cores,
+            lanes_per_sm: 1,
+            lane_speed: 1.0,
+            shared_mem_bytes: usize::MAX,
+            spill_slope: 0.0,
+        }
+    }
+
+    /// A single host core (the sequential baseline).
+    pub fn single_core() -> DeviceSpec {
+        DeviceSpec::cpu(1)
+    }
+
+    /// Total lane parallelism.
+    pub fn total_lanes(&self) -> usize {
+        self.sms * self.lanes_per_sm
+    }
+
+    /// Multiplier applied to a block's compute time for a working set of
+    /// `bytes`.
+    pub fn spill_factor(&self, bytes: usize) -> f64 {
+        if bytes <= self.shared_mem_bytes {
+            1.0
+        } else {
+            let excess = bytes as f64 / self.shared_mem_bytes as f64 - 1.0;
+            1.0 + self.spill_slope * excess
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k40_shape() {
+        let d = DeviceSpec::k40();
+        assert_eq!(d.total_lanes(), 2880);
+        assert!(d.lane_speed < 0.1);
+    }
+
+    #[test]
+    fn cpu_has_full_speed_lanes() {
+        let d = DeviceSpec::cpu(6);
+        assert_eq!(d.total_lanes(), 6);
+        assert_eq!(d.lane_speed, 1.0);
+        assert_eq!(d.spill_factor(usize::MAX - 1), 1.0);
+    }
+
+    #[test]
+    fn spill_kicks_in_beyond_shared_mem() {
+        let d = DeviceSpec::k40();
+        assert_eq!(d.spill_factor(1024), 1.0);
+        assert_eq!(d.spill_factor(48 * 1024), 1.0);
+        let f = d.spill_factor(96 * 1024);
+        assert!((f - 2.0).abs() < 1e-9, "double the working set -> 2x penalty");
+        assert!(d.spill_factor(144 * 1024) > f);
+    }
+}

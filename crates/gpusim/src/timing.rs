@@ -1,0 +1,146 @@
+//! The kernel timing model.
+//!
+//! Input: the measured single-core host seconds of each block's work and
+//! the block's working-set size. Output: the modeled time the kernel would
+//! take on a [`crate::DeviceSpec`].
+//!
+//! Model, per block `b` with host work `w_b` seconds and `threads` lanes of
+//! parallel work inside the block:
+//!
+//! ```text
+//! t_b = w_b / (lane_speed * min(threads, lanes_per_sm)) * spill_factor
+//! ```
+//!
+//! Blocks are scheduled onto SMs in waves of `sms` blocks (the paper uses
+//! one block per SM); the kernel time is the sum over waves of the slowest
+//! block in each wave:
+//!
+//! ```text
+//! T = sum over waves of max(t_b in wave)
+//! ```
+
+use crate::device::DeviceSpec;
+
+/// Modeled timing of one kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelTiming {
+    /// Modeled kernel seconds on the device.
+    pub modeled_seconds: f64,
+    /// Total measured single-core host seconds across blocks (the
+    /// sequential baseline work `W`).
+    pub host_seconds: f64,
+    /// Number of scheduling waves.
+    pub waves: usize,
+    /// Spill factor applied (1.0 = fits in shared memory).
+    pub spill_factor: f64,
+}
+
+impl KernelTiming {
+    /// Speedup of this launch relative to a sequential single-core run of
+    /// the same work.
+    pub fn speedup_vs_sequential(&self) -> f64 {
+        if self.modeled_seconds == 0.0 {
+            1.0
+        } else {
+            self.host_seconds / self.modeled_seconds
+        }
+    }
+}
+
+/// Compute the modeled kernel time.
+///
+/// `block_host_seconds[b]` is the measured single-core time of block `b`'s
+/// whole work; `threads_per_block` the lane-parallel width inside a block;
+/// `block_bytes` the per-block working set.
+pub fn model(
+    device: &DeviceSpec,
+    block_host_seconds: &[f64],
+    threads_per_block: usize,
+    block_bytes: usize,
+) -> KernelTiming {
+    assert!(threads_per_block > 0);
+    let spill = device.spill_factor(block_bytes);
+    let lane_par = device.lanes_per_sm.min(threads_per_block) as f64;
+    let per_block: Vec<f64> = block_host_seconds
+        .iter()
+        .map(|w| w / (device.lane_speed * lane_par) * spill)
+        .collect();
+    let mut modeled = 0.0;
+    let mut waves = 0;
+    for wave in per_block.chunks(device.sms.max(1)) {
+        modeled += wave.iter().cloned().fold(0.0f64, f64::max);
+        waves += 1;
+    }
+    KernelTiming {
+        modeled_seconds: modeled,
+        host_seconds: block_host_seconds.iter().sum(),
+        waves,
+        spill_factor: spill,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_wave_takes_slowest_block() {
+        let d = DeviceSpec::cpu(4);
+        let t = model(&d, &[1.0, 2.0, 3.0], 1, 0);
+        assert_eq!(t.waves, 1);
+        assert!((t.modeled_seconds - 3.0).abs() < 1e-12);
+        assert!((t.host_seconds - 6.0).abs() < 1e-12);
+        assert!((t.speedup_vs_sequential() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn waves_accumulate() {
+        let d = DeviceSpec::cpu(2);
+        let t = model(&d, &[1.0, 1.0, 1.0, 1.0], 1, 0);
+        assert_eq!(t.waves, 2);
+        assert!((t.modeled_seconds - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lane_parallelism_divides_block_time() {
+        let d = DeviceSpec::k40();
+        // One block, 192 threads of work measured at 1 host-second total.
+        let t = model(&d, &[1.0], 192, 1024);
+        // 1 / (1/30 * 192) = 0.15625 s.
+        assert!((t.modeled_seconds - 0.15625).abs() < 1e-9);
+        assert!(t.speedup_vs_sequential() > 6.0);
+    }
+
+    #[test]
+    fn threads_beyond_lanes_do_not_help() {
+        let d = DeviceSpec::k40();
+        let a = model(&d, &[1.0], 192, 1024);
+        let b = model(&d, &[1.0], 10_000, 1024);
+        assert_eq!(a.modeled_seconds, b.modeled_seconds);
+    }
+
+    #[test]
+    fn spill_shrinks_speedup() {
+        let d = DeviceSpec::k40();
+        let fit = model(&d, &[1.0; 15], 192, 16 * 1024);
+        let spilled = model(&d, &[1.0; 15], 192, 160 * 1024);
+        assert!(spilled.modeled_seconds > fit.modeled_seconds * 2.0);
+        assert!(spilled.speedup_vs_sequential() < fit.speedup_vs_sequential());
+    }
+
+    #[test]
+    fn gpu_beats_6core_for_wide_kernels() {
+        // The Section 6.3 comparison shape: GPU >> 6-core CPU when there
+        // are many light-weight MC threads and the state fits shared mem.
+        let gpu = DeviceSpec::k40();
+        let cpu = DeviceSpec::cpu(6);
+        let work = vec![0.01; 30]; // 30 states
+        let t_gpu = model(&gpu, &work, 256, 8 * 1024);
+        let t_cpu = model(&cpu, &work, 256, 8 * 1024);
+        let speedup = t_cpu.modeled_seconds / t_gpu.modeled_seconds;
+        assert!(
+            (5.0..60.0).contains(&speedup),
+            "expected an order-of-10x GPU advantage, got {speedup}"
+        );
+    }
+}

@@ -1,0 +1,206 @@
+//! Scheduler callouts.
+//!
+//! Pegasus lets users choose the component that decides "which task runs
+//! on which resource". The paper plugs Deco in as an alternative to the
+//! traditional schedulers; we reproduce that plug-in architecture.
+
+use deco_baselines::autoscaling::autoscaling_plan;
+use deco_baselines::naive::{random_plan, single_type_plan};
+use deco_cloud::{CloudSpec, MetadataStore, Plan};
+use deco_core::{Deco, DecoOptions};
+use deco_solver::EvalBackend;
+use deco_workflow::Workflow;
+
+/// What the user asked of the run (the paper's QoS setting).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Requirements {
+    /// Deadline in seconds.
+    pub deadline: f64,
+    /// Probabilistic requirement: `P(makespan <= deadline) >= percentile`.
+    /// Deterministic schedulers read only the deadline.
+    pub percentile: f64,
+}
+
+/// A scheduler callout: abstract workflow + cloud knowledge → plan.
+pub trait Scheduler {
+    fn name(&self) -> &str;
+
+    /// Produce a provisioning plan, or `None` when the scheduler deems the
+    /// requirements unachievable.
+    fn schedule(
+        &self,
+        wf: &Workflow,
+        spec: &CloudSpec,
+        store: &MetadataStore,
+        req: Requirements,
+    ) -> Option<Plan>;
+}
+
+/// Pegasus' default: random site selection per task.
+pub struct RandomScheduler {
+    pub seed: u64,
+}
+
+impl Scheduler for RandomScheduler {
+    fn name(&self) -> &str {
+        "random"
+    }
+    fn schedule(
+        &self,
+        wf: &Workflow,
+        spec: &CloudSpec,
+        _store: &MetadataStore,
+        _req: Requirements,
+    ) -> Option<Plan> {
+        Some(random_plan(wf, spec, self.seed, 0))
+    }
+}
+
+/// Everything on one fixed instance type (Figure 1's m1.* bars).
+pub struct SingleTypeScheduler {
+    pub itype: usize,
+}
+
+impl Scheduler for SingleTypeScheduler {
+    fn name(&self) -> &str {
+        "single-type"
+    }
+    fn schedule(
+        &self,
+        wf: &Workflow,
+        spec: &CloudSpec,
+        _store: &MetadataStore,
+        req: Requirements,
+    ) -> Option<Plan> {
+        // Same 15% variance reserve as the Deco planner, so Figure 1
+        // compares type choices, not packing headroom.
+        Some(single_type_plan(wf, spec, self.itype, 0, req.deadline * 0.85))
+    }
+}
+
+/// The Autoscaling comparator.
+///
+/// Autoscaling's deadline notion is deterministic. For a fair comparison
+/// under a probabilistic requirement, the paper "sets the deadline of
+/// Autoscaling according to the QoS setting in Deco" — the effective
+/// deterministic deadline corresponds to the requested percentile. We
+/// reproduce that with a short calibration loop: plan for an effective
+/// deadline, estimate the plan's p-th-quantile makespan from the metadata
+/// store, and shrink the effective deadline until the requirement holds
+/// (or the fleet tops out).
+pub struct AutoscalingScheduler;
+
+impl Scheduler for AutoscalingScheduler {
+    fn name(&self) -> &str {
+        "autoscaling"
+    }
+    fn schedule(
+        &self,
+        wf: &Workflow,
+        spec: &CloudSpec,
+        store: &MetadataStore,
+        req: Requirements,
+    ) -> Option<Plan> {
+        use deco_core::estimate::{mc_evaluate_plan, ExecTimeTable};
+        let table = ExecTimeTable::build(wf, store, 12);
+        let mut effective = req.deadline;
+        let mut plan = autoscaling_plan(wf, spec, effective, 0);
+        for _ in 0..4 {
+            let e = mc_evaluate_plan(
+                wf,
+                &plan,
+                &table,
+                spec,
+                req.deadline,
+                req.percentile,
+                100,
+                0xA570,
+            );
+            if e.prob >= req.percentile || e.quantile_makespan <= 0.0 {
+                break;
+            }
+            // Shrink proportionally to the overshoot of the quantile.
+            effective *= (req.deadline / e.quantile_makespan).min(0.95);
+            plan = autoscaling_plan(wf, spec, effective, 0);
+        }
+        Some(plan)
+    }
+}
+
+/// Deco as the scheduler callout.
+pub struct DecoScheduler {
+    pub options: DecoOptions,
+    pub backend: EvalBackend,
+}
+
+impl Default for DecoScheduler {
+    fn default() -> Self {
+        DecoScheduler {
+            options: DecoOptions::default(),
+            backend: EvalBackend::SeqCpu,
+        }
+    }
+}
+
+impl Scheduler for DecoScheduler {
+    fn name(&self) -> &str {
+        "deco"
+    }
+    fn schedule(
+        &self,
+        wf: &Workflow,
+        _spec: &CloudSpec,
+        store: &MetadataStore,
+        req: Requirements,
+    ) -> Option<Plan> {
+        let mut deco = Deco::new(store.clone());
+        deco.options = self.options.clone();
+        deco.plan_workflow(wf, req.deadline, req.percentile, &self.backend)
+            .map(|p| p.plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deco_workflow::generators;
+
+    fn env() -> (Workflow, CloudSpec, MetadataStore) {
+        let spec = CloudSpec::amazon_ec2();
+        let store = MetadataStore::from_ground_truth(spec.clone(), 25);
+        (generators::montage(1, 17), spec, store)
+    }
+
+    fn req(wf: &Workflow, spec: &CloudSpec) -> Requirements {
+        let (dmin, dmax) = deco_core::estimate::deadline_anchors(wf, spec);
+        Requirements {
+            deadline: 0.5 * (dmin + dmax),
+            percentile: 0.9,
+        }
+    }
+
+    #[test]
+    fn every_scheduler_produces_a_valid_plan() {
+        let (wf, spec, store) = env();
+        let r = req(&wf, &spec);
+        let schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(RandomScheduler { seed: 1 }),
+            Box::new(SingleTypeScheduler { itype: 2 }),
+            Box::new(AutoscalingScheduler),
+        ];
+        for s in schedulers {
+            let plan = s.schedule(&wf, &spec, &store, r).expect(s.name());
+            plan.validate(&wf, &spec).unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+        }
+    }
+
+    #[test]
+    fn deco_scheduler_plans_within_requirements() {
+        let (wf, spec, store) = env();
+        let r = req(&wf, &spec);
+        let mut s = DecoScheduler::default();
+        s.options.mc_iters = 40;
+        let plan = s.schedule(&wf, &spec, &store, r).expect("feasible");
+        plan.validate(&wf, &spec).unwrap();
+    }
+}

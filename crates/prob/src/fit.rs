@@ -1,0 +1,209 @@
+//! Parameter recovery and goodness-of-fit testing.
+//!
+//! The paper's calibration pipeline measures 10,000 samples per instance
+//! type, fits Gamma parameters to sequential I/O and Normal parameters to
+//! random I/O / network bandwidth (Table 2), and verifies the network
+//! normality claim "with null hypothesis" (Figure 6b). We reproduce both
+//! steps: moment-matching fits plus a Pearson chi-square goodness-of-fit
+//! test.
+
+use crate::dist::{Dist, Gamma, Normal};
+use crate::math::chi_square_sf;
+use crate::stats;
+
+/// Fit a Normal by moment matching (which is also the MLE for a Normal).
+pub fn fit_normal(samples: &[f64]) -> Normal {
+    assert!(samples.len() >= 2, "need at least two samples to fit");
+    Normal::new(stats::mean(samples), stats::std_dev(samples))
+}
+
+/// Fit a Gamma(k, theta) by moment matching:
+/// `k = mean^2 / var`, `theta = var / mean`.
+pub fn fit_gamma(samples: &[f64]) -> Gamma {
+    assert!(samples.len() >= 2, "need at least two samples to fit");
+    let m = stats::mean(samples);
+    let v = stats::variance(samples);
+    assert!(m > 0.0 && v > 0.0, "gamma fit needs positive mean and variance");
+    Gamma::new(m * m / v, v / m)
+}
+
+/// Result of a chi-square goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GofTest {
+    /// Pearson statistic.
+    pub statistic: f64,
+    /// Degrees of freedom (bins - 1 - params_estimated).
+    pub dof: usize,
+    /// Survival-function p-value; the null (samples come from the
+    /// distribution) is rejected when this falls below the significance
+    /// level.
+    pub p_value: f64,
+}
+
+impl GofTest {
+    /// Whether the null hypothesis is retained at significance `alpha`.
+    pub fn accepts(&self, alpha: f64) -> bool {
+        self.p_value >= alpha
+    }
+}
+
+/// Pearson chi-square test of `samples` against `dist`.
+///
+/// Bins are chosen equiprobable under the fitted distribution (so expected
+/// counts are equal), the textbook construction. `params_estimated` reduces
+/// the degrees of freedom (2 for a fitted Normal or Gamma).
+pub fn chi_square_gof(
+    samples: &[f64],
+    dist: &dyn Dist,
+    bins: usize,
+    params_estimated: usize,
+) -> GofTest {
+    assert!(bins >= 3, "need at least 3 bins");
+    assert!(
+        samples.len() >= 5 * bins,
+        "need >= 5 expected counts per bin ({} samples for {} bins)",
+        samples.len(),
+        bins
+    );
+    // Equiprobable bin edges from the distribution's quantiles, located by
+    // bisection on the CDF (works for any Dist with a CDF).
+    let mut edges = Vec::with_capacity(bins - 1);
+    let (mut search_lo, mut search_hi) = (
+        dist.mean() - 12.0 * dist.std_dev() - 1.0,
+        dist.mean() + 12.0 * dist.std_dev() + 1.0,
+    );
+    // Widen until the CDF brackets (defensive for heavy tails).
+    while dist.cdf(search_lo) > 1e-9 {
+        search_lo -= 10.0 * dist.std_dev().max(1.0);
+    }
+    while dist.cdf(search_hi) < 1.0 - 1e-9 {
+        search_hi += 10.0 * dist.std_dev().max(1.0);
+    }
+    for i in 1..bins {
+        let target = i as f64 / bins as f64;
+        let (mut lo, mut hi) = (search_lo, search_hi);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if dist.cdf(mid) < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        edges.push(0.5 * (lo + hi));
+    }
+    let mut counts = vec![0usize; bins];
+    for &x in samples {
+        let idx = edges.partition_point(|&e| e < x);
+        counts[idx] += 1;
+    }
+    let expected = samples.len() as f64 / bins as f64;
+    let statistic: f64 = counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    let dof = bins - 1 - params_estimated;
+    GofTest {
+        statistic,
+        dof,
+        p_value: chi_square_sf(statistic, dof),
+    }
+}
+
+/// Convenience: fit a Normal and test the samples against it — the
+/// "verified with null hypothesis ... can be modeled with a normal
+/// distribution" step of Figure 6b.
+pub fn normality_test(samples: &[f64], bins: usize) -> (Normal, GofTest) {
+    let n = fit_normal(samples);
+    let t = chi_square_gof(samples, &n, bins, 2);
+    (n, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Dist;
+    use crate::rng::seeded;
+
+    fn draw(d: &dyn Dist, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = seeded(seed);
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn normal_fit_recovers_parameters() {
+        let truth = Normal::new(128.9, 8.4); // Table 2: m1.medium random I/O
+        let samples = draw(&truth, 10_000, 11);
+        let fitted = fit_normal(&samples);
+        assert!((fitted.mu - truth.mu).abs() < 0.5);
+        assert!((fitted.sigma - truth.sigma).abs() < 0.3);
+    }
+
+    #[test]
+    fn gamma_fit_recovers_parameters() {
+        let truth = Gamma::new(129.3, 0.79); // Table 2: m1.small sequential I/O
+        let samples = draw(&truth, 10_000, 12);
+        let fitted = fit_gamma(&samples);
+        assert!(
+            (fitted.k - truth.k).abs() / truth.k < 0.08,
+            "k {} vs {}",
+            fitted.k,
+            truth.k
+        );
+        assert!((fitted.theta - truth.theta).abs() / truth.theta < 0.08);
+    }
+
+    #[test]
+    fn chi_square_accepts_true_model() {
+        let truth = Normal::new(0.0, 1.0);
+        let samples = draw(&truth, 5000, 13);
+        let t = chi_square_gof(&samples, &truth, 20, 0);
+        assert!(t.accepts(0.01), "p-value {} too small for true model", t.p_value);
+    }
+
+    #[test]
+    fn chi_square_rejects_wrong_model() {
+        // Exponential data tested against a Normal with the same moments
+        // must be rejected decisively.
+        let truth = crate::dist::Exponential::new(1.0);
+        let samples = draw(&truth, 5000, 14);
+        let wrong = fit_normal(&samples);
+        let t = chi_square_gof(&samples, &wrong, 20, 2);
+        assert!(!t.accepts(0.01), "p-value {} should reject", t.p_value);
+    }
+
+    #[test]
+    fn normality_test_on_network_like_data() {
+        // Figure 6b: m1.medium network bandwidth is Normal.
+        let truth = Normal::new(100.0, 12.0);
+        let samples = draw(&truth, 10_000, 15);
+        let (fitted, t) = normality_test(&samples, 25);
+        assert!(t.accepts(0.01));
+        assert!((fitted.mu - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn gamma_gof_accepts_gamma_data() {
+        let truth = Gamma::new(376.6, 0.28); // Table 2: m1.large sequential I/O
+        let samples = draw(&truth, 5000, 16);
+        let fitted = fit_gamma(&samples);
+        let t = chi_square_gof(&samples, &fitted, 15, 2);
+        assert!(t.accepts(0.01), "p-value {}", t.p_value);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fit_rejects_tiny_samples() {
+        fit_normal(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn gof_requires_enough_samples() {
+        let d = Normal::new(0.0, 1.0);
+        chi_square_gof(&[0.0; 10], &d, 10, 0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Special functions needed by the distribution and fitting code.
+//!
+//! Implemented here (rather than pulled from a crate) because the offline
+//! dependency set is deliberately small; these are the classical
+//! approximations with well-known error bounds.
+
+use std::f64::consts::PI;
+
+/// Error function, Abramowitz & Stegun 7.1.26 (max absolute error 1.5e-7).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal CDF.
+pub fn std_normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation,
+/// relative error < 1.15e-9 over (0, 1)).
+pub fn std_normal_inv_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probability must be in (0,1), got {p}");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// Natural log of the Gamma function (Lanczos approximation, g = 7, n = 9;
+/// accurate to ~1e-13 for x > 0).
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEF: [f64; 9] = [
+        0.99999999999980993,
+        676.5203681218851,
+        -1259.1392167224028,
+        771.32342877765313,
+        -176.61502916214059,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.9843695780195716e-6,
+        1.5056327351493116e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        PI.ln() - (PI * x).sin().ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut a = COEF[0];
+        let t = x + 7.5;
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        0.5 * (2.0 * PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+    }
+}
+
+/// Regularized lower incomplete gamma function P(a, x), via series expansion
+/// for x < a+1 and continued fraction otherwise. Used for the Gamma CDF and
+/// the chi-square test p-value.
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "shape must be positive");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        // Series representation.
+        let mut sum = 1.0 / a;
+        let mut term = sum;
+        let mut n = a;
+        for _ in 0..500 {
+            n += 1.0;
+            term *= x / n;
+            sum += term;
+            if term.abs() < sum.abs() * 1e-15 {
+                break;
+            }
+        }
+        (sum.ln() + a * x.ln() - x - ln_gamma(a)).exp()
+    } else {
+        // Continued fraction for Q(a,x) (Lentz's algorithm).
+        let mut b = x + 1.0 - a;
+        let mut c = 1.0 / 1e-300;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < 1e-300 {
+                d = 1e-300;
+            }
+            c = b + an / c;
+            if c.abs() < 1e-300 {
+                c = 1e-300;
+            }
+            d = 1.0 / d;
+            let delta = d * c;
+            h *= delta;
+            if (delta - 1.0).abs() < 1e-15 {
+                break;
+            }
+        }
+        let q = (a * x.ln() - x - ln_gamma(a)).exp() * h;
+        1.0 - q
+    }
+}
+
+/// Chi-square survival function: P(X > stat) for `dof` degrees of freedom.
+pub fn chi_square_sf(stat: f64, dof: usize) -> f64 {
+    if stat <= 0.0 {
+        return 1.0;
+    }
+    1.0 - gamma_p(dof as f64 / 2.0, stat / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        close(erf(0.0), 0.0, 2e-7);
+        close(erf(1.0), 0.8427007929, 2e-7);
+        close(erf(-1.0), -0.8427007929, 2e-7);
+        close(erf(2.0), 0.9953222650, 2e-7);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        for &x in &[0.1, 0.5, 1.0, 2.3] {
+            close(std_normal_cdf(x) + std_normal_cdf(-x), 1.0, 1e-7);
+        }
+    }
+
+    #[test]
+    fn inv_cdf_round_trips() {
+        for &p in &[0.001, 0.025, 0.1, 0.5, 0.9, 0.975, 0.999] {
+            close(std_normal_cdf(std_normal_inv_cdf(p)), p, 1e-6);
+        }
+    }
+
+    #[test]
+    fn inv_cdf_reference_values() {
+        close(std_normal_inv_cdf(0.975), 1.959964, 1e-5);
+        close(std_normal_inv_cdf(0.5), 0.0, 1e-9);
+        close(std_normal_inv_cdf(0.95), 1.644854, 1e-5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inv_cdf_rejects_zero() {
+        std_normal_inv_cdf(0.0);
+    }
+
+    #[test]
+    fn ln_gamma_factorials() {
+        // Gamma(n) = (n-1)!
+        close(ln_gamma(1.0), 0.0, 1e-10);
+        close(ln_gamma(2.0), 0.0, 1e-10);
+        close(ln_gamma(5.0), 24f64.ln(), 1e-10);
+        close(ln_gamma(11.0), 3628800f64.ln(), 1e-9);
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        close(ln_gamma(0.5), PI.sqrt().ln(), 1e-10);
+    }
+
+    #[test]
+    fn gamma_p_limits() {
+        close(gamma_p(2.0, 0.0), 0.0, 1e-12);
+        close(gamma_p(2.0, 1e6), 1.0, 1e-9);
+        // P(1, x) = 1 - exp(-x).
+        close(gamma_p(1.0, 1.3), 1.0 - (-1.3f64).exp(), 1e-9);
+    }
+
+    #[test]
+    fn chi_square_reference() {
+        // Critical value: chi2(0.95, dof=3) ~= 7.815.
+        close(chi_square_sf(7.815, 3), 0.05, 2e-3);
+        close(chi_square_sf(0.0, 5), 1.0, 1e-12);
+    }
+}

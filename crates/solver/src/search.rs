@@ -1,0 +1,498 @@
+//! Generic (Algorithm 2) and A* search.
+
+use crate::eval::{evaluate_batch, EvalBackend, Evaluation};
+use crate::SearchProblem;
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::time::Instant;
+
+/// Search controls.
+#[derive(Debug, Clone)]
+pub struct SearchOptions {
+    /// Hard budget on evaluated states (the paper's Algorithm 2 explores a
+    /// FIFO queue; this bounds it for the exponential worst case).
+    pub max_states: usize,
+    /// Stop when this many consecutive frontier batches bring no
+    /// improvement of the incumbent.
+    pub patience: usize,
+    /// Frontier batch size per kernel launch (the paper launches one block
+    /// per searched state across the device's SMs).
+    pub batch: usize,
+    /// Root seed for the per-state Monte-Carlo seeds.
+    pub seed: u64,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions {
+            max_states: 20_000,
+            patience: 8,
+            batch: 64,
+            seed: 0xD5C0,
+        }
+    }
+}
+
+/// Counters and device-model timing of one search.
+#[derive(Debug, Clone, Default)]
+pub struct SearchStats {
+    pub states_evaluated: usize,
+    pub batches: usize,
+    /// Modeled evaluation seconds on the chosen backend's device.
+    pub modeled_eval_seconds: f64,
+    /// Measured single-core seconds of all evaluation work.
+    pub host_eval_seconds: f64,
+    /// Wall-clock of the whole search on the host.
+    pub wall_seconds: f64,
+}
+
+/// Result: the incumbent (best feasible state) and stats.
+#[derive(Debug, Clone)]
+pub struct SearchResult<S> {
+    pub best: Option<(S, Evaluation)>,
+    pub stats: SearchStats,
+}
+
+fn better(minimize: bool, a: f64, b: f64) -> bool {
+    if minimize {
+        a < b
+    } else {
+        a > b
+    }
+}
+
+/// Algorithm 2: breadth-first exploration from the initial state with a
+/// visited set, evaluating frontier batches on the backend and keeping the
+/// best feasible state.
+pub fn generic_search<P: SearchProblem>(
+    problem: &P,
+    opts: &SearchOptions,
+    backend: &EvalBackend,
+) -> SearchResult<P::State> {
+    let t0 = Instant::now();
+    let minimize = problem.minimize();
+    let mut stats = SearchStats::default();
+    let mut visited: HashSet<P::State> = HashSet::new();
+    let mut queue: VecDeque<P::State> = VecDeque::new();
+    let mut best: Option<(P::State, Evaluation)> = None;
+    let init = problem.initial();
+    visited.insert(init.clone());
+    queue.push_back(init);
+    let mut stale_batches = 0usize;
+
+    while !queue.is_empty() && stats.states_evaluated < opts.max_states {
+        let take = opts
+            .batch
+            .min(queue.len())
+            .min(opts.max_states - stats.states_evaluated);
+        let batch: Vec<P::State> = (0..take).map(|_| queue.pop_front().unwrap()).collect();
+        let (evals, timing) = evaluate_batch(problem, &batch, backend, opts.seed);
+        stats.states_evaluated += batch.len();
+        stats.batches += 1;
+        stats.modeled_eval_seconds += timing.modeled_seconds;
+        stats.host_eval_seconds += timing.host_seconds;
+
+        let mut improved = false;
+        for (state, eval) in batch.iter().zip(&evals) {
+            if eval.feasible
+                && best
+                    .as_ref()
+                    .map_or(true, |(_, b)| better(minimize, eval.objective, b.objective))
+            {
+                best = Some((state.clone(), *eval));
+                improved = true;
+            }
+            for child in problem.neighbors(state) {
+                if visited.insert(child.clone()) {
+                    queue.push_back(child);
+                }
+            }
+        }
+        stale_batches = if improved { 0 } else { stale_batches + 1 };
+        if best.is_some() && stale_batches >= opts.patience {
+            break;
+        }
+    }
+    stats.wall_seconds = t0.elapsed().as_secs_f64();
+    SearchResult { best, stats }
+}
+
+/// Beam search — the *exploitation* counterpart of Algorithm 2's
+/// exploration (the paper discusses the trade-off in Section 5.3 and
+/// chooses exploration for GPU parallelism; the beam keeps the same
+/// batch-parallel evaluation while following good partial solutions).
+///
+/// Each round evaluates the whole frontier as one kernel batch, then keeps
+/// the best `beam_width` children: feasible states ranked by objective
+/// first, infeasible ones ranked by constraint margin (closest to feasible
+/// first) to bootstrap feasibility from the all-cheapest initial state.
+pub fn beam_search<P: SearchProblem>(
+    problem: &P,
+    opts: &SearchOptions,
+    beam_width: usize,
+    backend: &EvalBackend,
+) -> SearchResult<P::State> {
+    assert!(beam_width > 0);
+    let t0 = Instant::now();
+    let minimize = problem.minimize();
+    let mut stats = SearchStats::default();
+    let mut visited: HashSet<P::State> = HashSet::new();
+    let mut best: Option<(P::State, Evaluation)> = None;
+    let init = problem.initial();
+    visited.insert(init.clone());
+    let mut frontier = vec![init];
+    // Evaluated states not yet expanded. The beam draws from this global
+    // pool, so a round's runners-up stay available later (beam with
+    // backtracking) instead of being discarded forever.
+    let mut pool: Vec<(P::State, Evaluation)> = Vec::new();
+    let mut stale = 0usize;
+
+    let rank = |a: &Evaluation, b: &Evaluation| -> std::cmp::Ordering {
+        match (a.feasible, b.feasible) {
+            (true, false) => std::cmp::Ordering::Less,
+            (false, true) => std::cmp::Ordering::Greater,
+            (true, true) => {
+                if minimize {
+                    a.objective.partial_cmp(&b.objective).unwrap()
+                } else {
+                    b.objective.partial_cmp(&a.objective).unwrap()
+                }
+            }
+            (false, false) => b
+                .constraint_margin
+                .partial_cmp(&a.constraint_margin)
+                .unwrap(),
+        }
+    };
+
+    while stats.states_evaluated < opts.max_states {
+        if !frontier.is_empty() {
+            let take = frontier.len().min(opts.max_states - stats.states_evaluated);
+            let batch: Vec<P::State> = frontier.drain(..take).collect();
+            let (evals, timing) = evaluate_batch(problem, &batch, backend, opts.seed);
+            stats.states_evaluated += batch.len();
+            stats.batches += 1;
+            stats.modeled_eval_seconds += timing.modeled_seconds;
+            stats.host_eval_seconds += timing.host_seconds;
+
+            let mut improved = false;
+            for (state, eval) in batch.iter().zip(&evals) {
+                if eval.feasible
+                    && best
+                        .as_ref()
+                        .map_or(true, |(_, b)| better(minimize, eval.objective, b.objective))
+                {
+                    best = Some((state.clone(), *eval));
+                    improved = true;
+                }
+            }
+            pool.extend(batch.into_iter().zip(evals));
+            stale = if improved { 0 } else { stale + 1 };
+            if best.is_some() && stale >= opts.patience {
+                break;
+            }
+        }
+        if pool.is_empty() {
+            break;
+        }
+        // Expand the globally best `beam_width` unexpanded states; keep a
+        // bounded reservoir of runners-up for later backtracking.
+        pool.sort_by(|(_, a), (_, b)| rank(a, b));
+        pool.truncate((beam_width * 16).max(64));
+        let expand = pool.len().min(beam_width);
+        for (state, _) in pool.drain(..expand) {
+            for child in problem.neighbors(&state) {
+                if visited.insert(child.clone()) {
+                    frontier.push(child);
+                }
+            }
+        }
+        if frontier.is_empty() && pool.is_empty() {
+            break;
+        }
+    }
+    stats.wall_seconds = t0.elapsed().as_secs_f64();
+    SearchResult { best, stats }
+}
+
+/// Heap entry ordered by `f = g + h` (reversed for a min-heap when
+/// minimizing).
+struct HeapEntry<S> {
+    f: f64,
+    minimize: bool,
+    state: S,
+}
+
+impl<S> PartialEq for HeapEntry<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.f == other.f
+    }
+}
+impl<S> Eq for HeapEntry<S> {}
+impl<S> PartialOrd for HeapEntry<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for HeapEntry<S> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap: best entry = largest. When minimizing,
+        // smaller f must compare larger.
+        let o = self
+            .f
+            .partial_cmp(&other.f)
+            .unwrap_or(std::cmp::Ordering::Equal);
+        if self.minimize {
+            o.reverse()
+        } else {
+            o
+        }
+    }
+}
+
+/// A* search (Section 5.3): user-declared `cal_g_score` / `est_h_score`
+/// order the open list; when the problem's children are monotonically
+/// worse, states that cannot beat the incumbent are pruned together with
+/// their whole subtree — the paper's example prunes child states whose
+/// monetary cost already exceeds the best found solution.
+pub fn astar_search<P: SearchProblem>(
+    problem: &P,
+    opts: &SearchOptions,
+    backend: &EvalBackend,
+) -> SearchResult<P::State> {
+    let t0 = Instant::now();
+    let minimize = problem.minimize();
+    let mut stats = SearchStats::default();
+    let mut visited: HashSet<P::State> = HashSet::new();
+    let mut open: BinaryHeap<HeapEntry<P::State>> = BinaryHeap::new();
+    let mut best: Option<(P::State, Evaluation)> = None;
+
+    // Evaluate the initial state to seed the heap.
+    let init = problem.initial();
+    visited.insert(init.clone());
+    let (evals, timing) = evaluate_batch(problem, std::slice::from_ref(&init), backend, opts.seed);
+    stats.states_evaluated += 1;
+    stats.batches += 1;
+    stats.modeled_eval_seconds += timing.modeled_seconds;
+    stats.host_eval_seconds += timing.host_seconds;
+    let e0 = evals[0];
+    if e0.feasible {
+        best = Some((init.clone(), e0));
+    }
+    open.push(HeapEntry {
+        f: e0.objective + problem.h_score(&init, &e0),
+        minimize,
+        state: init,
+    });
+
+    let mut stale = 0usize;
+    while let Some(top) = (stats.states_evaluated < opts.max_states)
+        .then(|| open.pop())
+        .flatten()
+    {
+        // Prune by the incumbent when the subtree is monotone.
+        if problem.children_monotone() {
+            if let Some((_, b)) = &best {
+                if !better(minimize, top.f, b.objective) {
+                    continue;
+                }
+            }
+        }
+        let children: Vec<P::State> = problem
+            .neighbors(&top.state)
+            .into_iter()
+            .filter(|c| visited.insert(c.clone()))
+            .collect();
+        if children.is_empty() {
+            continue;
+        }
+        let take = children.len().min(opts.max_states - stats.states_evaluated);
+        let batch = &children[..take];
+        let (evals, timing) = evaluate_batch(problem, batch, backend, opts.seed);
+        stats.states_evaluated += batch.len();
+        stats.batches += 1;
+        stats.modeled_eval_seconds += timing.modeled_seconds;
+        stats.host_eval_seconds += timing.host_seconds;
+        let mut improved = false;
+        for (state, eval) in batch.iter().zip(&evals) {
+            if eval.feasible
+                && best
+                    .as_ref()
+                    .map_or(true, |(_, b)| better(minimize, eval.objective, b.objective))
+            {
+                best = Some((state.clone(), *eval));
+                improved = true;
+            }
+            open.push(HeapEntry {
+                f: eval.objective + problem.h_score(state, eval),
+                minimize,
+                state: state.clone(),
+            });
+        }
+        stale = if improved { 0 } else { stale + 1 };
+        if best.is_some() && stale >= opts.patience * 8 {
+            break;
+        }
+    }
+    stats.wall_seconds = t0.elapsed().as_secs_f64();
+    SearchResult { best, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::promotions;
+
+    /// Minimize sum(s) subject to sum(s) >= target — the shape of the
+    /// scheduling problem: promotion raises cost and only enough of it
+    /// satisfies the constraint. The optimum is exactly `target`.
+    struct Threshold {
+        n: usize,
+        k: usize,
+        target: usize,
+    }
+
+    impl SearchProblem for Threshold {
+        type State = Vec<usize>;
+        fn initial(&self) -> Vec<usize> {
+            vec![0; self.n]
+        }
+        fn neighbors(&self, s: &Vec<usize>) -> Vec<Vec<usize>> {
+            promotions(s, self.k)
+        }
+        fn evaluate(&self, s: &Vec<usize>, _seed: u64) -> Evaluation {
+            let sum: usize = s.iter().sum();
+            Evaluation {
+                feasible: sum >= self.target,
+                objective: sum as f64,
+                constraint_margin: 1.0,
+            }
+        }
+        fn children_monotone(&self) -> bool {
+            true
+        }
+        fn h_score(&self, s: &Vec<usize>, _e: &Evaluation) -> f64 {
+            // Admissible: remaining promotions needed.
+            let sum: usize = s.iter().sum();
+            self.target.saturating_sub(sum) as f64
+        }
+    }
+
+    #[test]
+    fn generic_search_finds_the_optimum() {
+        let p = Threshold { n: 3, k: 4, target: 4 };
+        let r = generic_search(&p, &SearchOptions::default(), &EvalBackend::SeqCpu);
+        let (state, eval) = r.best.expect("a feasible state exists");
+        assert_eq!(eval.objective, 4.0);
+        assert_eq!(state.iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn astar_finds_the_same_optimum_with_fewer_states() {
+        let p = Threshold { n: 3, k: 4, target: 4 };
+        let g = generic_search(&p, &SearchOptions::default(), &EvalBackend::SeqCpu);
+        let a = astar_search(&p, &SearchOptions::default(), &EvalBackend::SeqCpu);
+        assert_eq!(
+            a.best.as_ref().unwrap().1.objective,
+            g.best.as_ref().unwrap().1.objective
+        );
+        assert!(
+            a.stats.states_evaluated <= g.stats.states_evaluated,
+            "A* ({}) must not expand more than generic ({})",
+            a.stats.states_evaluated,
+            g.stats.states_evaluated
+        );
+    }
+
+    #[test]
+    fn infeasible_problems_return_none() {
+        let p = Threshold { n: 2, k: 2, target: 99 };
+        let r = generic_search(&p, &SearchOptions::default(), &EvalBackend::SeqCpu);
+        assert!(r.best.is_none());
+        // The whole space is 2^... small; everything gets visited.
+        assert_eq!(r.stats.states_evaluated, 4);
+    }
+
+    #[test]
+    fn max_states_budget_is_respected() {
+        let p = Threshold { n: 8, k: 4, target: 24 };
+        let opts = SearchOptions {
+            max_states: 50,
+            ..Default::default()
+        };
+        let r = generic_search(&p, &opts, &EvalBackend::SeqCpu);
+        assert!(r.stats.states_evaluated <= 50);
+    }
+
+    #[test]
+    fn patience_stops_early_after_incumbent() {
+        let p = Threshold { n: 4, k: 4, target: 1 };
+        let opts = SearchOptions {
+            patience: 1,
+            batch: 4,
+            ..Default::default()
+        };
+        let r = generic_search(&p, &opts, &EvalBackend::SeqCpu);
+        assert!(r.best.is_some());
+        assert!(
+            r.stats.states_evaluated < 100,
+            "early stop expected, evaluated {}",
+            r.stats.states_evaluated
+        );
+    }
+
+    #[test]
+    fn maximize_mode_prefers_larger() {
+        struct MaxSum;
+        impl SearchProblem for MaxSum {
+            type State = Vec<usize>;
+            fn initial(&self) -> Vec<usize> {
+                vec![0; 2]
+            }
+            fn neighbors(&self, s: &Vec<usize>) -> Vec<Vec<usize>> {
+                promotions(s, 3)
+            }
+            fn evaluate(&self, s: &Vec<usize>, _: u64) -> Evaluation {
+                Evaluation {
+                    feasible: true,
+                    objective: s.iter().sum::<usize>() as f64,
+                    constraint_margin: 1.0,
+                }
+            }
+            fn minimize(&self) -> bool {
+                false
+            }
+        }
+        let r = generic_search(&MaxSum, &SearchOptions::default(), &EvalBackend::SeqCpu);
+        assert_eq!(r.best.unwrap().1.objective, 4.0, "both at type 2");
+    }
+
+    #[test]
+    fn beam_search_finds_the_optimum_and_scales_deep() {
+        // Needs depth-12 promotion chains: BFS cannot reach it in budget,
+        // the beam can.
+        let p = Threshold { n: 6, k: 4, target: 12 };
+        let opts = SearchOptions {
+            max_states: 2000,
+            ..Default::default()
+        };
+        let r = beam_search(&p, &opts, 4, &EvalBackend::SeqCpu);
+        let (_, eval) = r.best.expect("beam must reach a feasible state");
+        assert_eq!(eval.objective, 12.0, "beam should land on the optimum");
+    }
+
+    #[test]
+    fn beam_width_one_is_hill_climbing() {
+        let p = Threshold { n: 3, k: 4, target: 5 };
+        let r = beam_search(&p, &SearchOptions::default(), 1, &EvalBackend::SeqCpu);
+        assert_eq!(r.best.unwrap().1.objective, 5.0);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let p = Threshold { n: 3, k: 3, target: 3 };
+        let r = generic_search(&p, &SearchOptions::default(), &EvalBackend::SeqCpu);
+        assert!(r.stats.batches > 0);
+        assert!(r.stats.states_evaluated > 0);
+        assert!(r.stats.wall_seconds >= 0.0);
+    }
+}

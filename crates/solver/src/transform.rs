@@ -1,0 +1,221 @@
+//! Workflow transformation operations (Section 5.3, Figure 5).
+//!
+//! The paper drives state transitions with six operations from the
+//! authors' earlier transformation framework: Move, Merge, Promote,
+//! Demote, Split and Co-Scheduling. In this reproduction the search state
+//! for instance configuration is the paper's `vm_ij` formulation — a
+//! vector of instance types, one per task — and the operations act as
+//! follows:
+//!
+//! * **Promote / Demote** change one task's (or one level's) instance type
+//!   to the next more/less powerful one — explicit neighbor generators
+//!   here, exactly Figure 5b.
+//! * **Merge / Co-Scheduling / Move** decide how typed tasks share
+//!   concrete instances and when they start. They are applied by the
+//!   greedy slot packer ([`deco_cloud::Plan::packed`]) every time a typed
+//!   state is materialized into a plan: tasks whose predecessor slot is
+//!   expected free are placed behind it (Merge of partial hours),
+//!   same-type parallel tasks reuse free slots (Co-Scheduling), and a
+//!   task's start is delayed until its slot frees (Move).
+//! * **Split** (suspend/resume) is not expressible under per-started-hour
+//!   billing with non-preemptive instances in our execution model and is
+//!   omitted; DESIGN.md records this deviation.
+
+use deco_workflow::Workflow;
+
+/// Identifier of the operations, used for ablation reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransformOp {
+    Move,
+    Merge,
+    Promote,
+    Demote,
+    Split,
+    CoScheduling,
+}
+
+/// A type-assignment state: instance type per task.
+pub type TypeState = Vec<usize>;
+
+/// All single-task promotions of `s` (Figure 5b's children).
+pub fn promotions(s: &TypeState, k: usize) -> Vec<TypeState> {
+    let mut out = Vec::new();
+    for i in 0..s.len() {
+        if s[i] + 1 < k {
+            let mut child = s.clone();
+            child[i] += 1;
+            out.push(child);
+        }
+    }
+    out
+}
+
+/// All single-task demotions of `s`.
+pub fn demotions(s: &TypeState, _k: usize) -> Vec<TypeState> {
+    let mut out = Vec::new();
+    for i in 0..s.len() {
+        if s[i] > 0 {
+            let mut child = s.clone();
+            child[i] -= 1;
+            out.push(child);
+        }
+    }
+    out
+}
+
+/// Level-grouped promotions: promote every task of one DAG level together.
+///
+/// For 1000-task workflows single-task moves make search depth
+/// prohibitive; structurally parallel tasks (same level) almost always
+/// want the same type, so level moves are the coarse steps and single-task
+/// moves the refinement. Both are offered to the search.
+pub fn level_promotions(wf: &Workflow, s: &TypeState, k: usize) -> Vec<TypeState> {
+    assert_eq!(wf.len(), s.len());
+    let mut out = Vec::new();
+    for group in wf.level_groups() {
+        // Promote every task in the level that is not already at max.
+        if group.iter().any(|t| s[t.index()] + 1 < k) {
+            let mut child = s.clone();
+            for t in &group {
+                if child[t.index()] + 1 < k {
+                    child[t.index()] += 1;
+                }
+            }
+            if &child != s {
+                out.push(child);
+            }
+        }
+    }
+    out
+}
+
+/// Level-grouped demotions (the dual of [`level_promotions`]).
+pub fn level_demotions(wf: &Workflow, s: &TypeState, _k: usize) -> Vec<TypeState> {
+    assert_eq!(wf.len(), s.len());
+    let mut out = Vec::new();
+    for group in wf.level_groups() {
+        if group.iter().any(|t| s[t.index()] > 0) {
+            let mut child = s.clone();
+            for t in &group {
+                if child[t.index()] > 0 {
+                    child[t.index()] -= 1;
+                }
+            }
+            if &child != s {
+                out.push(child);
+            }
+        }
+    }
+    out
+}
+
+/// Global fleet promotion: every task one type up (saturating at the
+/// ceiling). The coarsest Promote step — reaches a feasible uniform fleet
+/// in at most `k-1` transitions from the all-cheapest initial state.
+pub fn global_promotion(s: &TypeState, k: usize) -> Option<TypeState> {
+    let child: TypeState = s.iter().map(|&t| (t + 1).min(k - 1)).collect();
+    (&child != s).then_some(child)
+}
+
+/// Global fleet demotion: every task one type down (saturating at 0).
+pub fn global_demotion(s: &TypeState, _k: usize) -> Option<TypeState> {
+    let child: TypeState = s.iter().map(|&t| t.saturating_sub(1)).collect();
+    (&child != s).then_some(child)
+}
+
+/// Above this task count, single-task moves are dropped from the neighbor
+/// set (level and global moves remain): a 1000-task workflow would
+/// otherwise produce thousands of children per state, and its levels are
+/// the natural granularity anyway.
+pub const TASK_MOVE_LIMIT: usize = 48;
+
+/// The neighbor set used by the scheduling problem: global, level-grouped
+/// and (for small workflows) single-task promotions/demotions — the
+/// Promote/Demote transformation operations applied at three
+/// granularities. `promote_only` restricts to cost-increasing moves (the
+/// monotone A* configuration of the paper's example).
+pub fn schedule_neighbors(
+    wf: &Workflow,
+    s: &TypeState,
+    k: usize,
+    promote_only: bool,
+) -> Vec<TypeState> {
+    let mut out = Vec::new();
+    out.extend(global_promotion(s, k));
+    out.extend(level_promotions(wf, s, k));
+    if s.len() <= TASK_MOVE_LIMIT {
+        out.extend(promotions(s, k));
+    }
+    if !promote_only {
+        out.extend(global_demotion(s, k));
+        out.extend(level_demotions(wf, s, k));
+        if s.len() <= TASK_MOVE_LIMIT {
+            out.extend(demotions(s, k));
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deco_workflow::generators;
+
+    #[test]
+    fn promotions_respect_type_ceiling() {
+        let s = vec![0, 3, 2];
+        let kids = promotions(&s, 4);
+        // Task 1 is already at the max type (3 of 0..4).
+        assert_eq!(kids, vec![vec![1, 3, 2], vec![0, 3, 3]]);
+    }
+
+    #[test]
+    fn demotions_respect_floor() {
+        let s = vec![0, 2];
+        assert_eq!(demotions(&s, 4), vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn fully_promoted_state_has_no_promotions() {
+        assert!(promotions(&vec![3, 3], 4).is_empty());
+        assert!(demotions(&vec![0, 0], 4).is_empty());
+    }
+
+    #[test]
+    fn level_promotion_moves_whole_levels() {
+        let wf = generators::fork_join(3, 1.0, 0.0);
+        // Levels: [src], [w0,w1,w2], [sink].
+        let s = vec![0; wf.len()];
+        let kids = level_promotions(&wf, &s, 4);
+        assert_eq!(kids.len(), 3);
+        // One child promotes exactly the three middle workers.
+        assert!(kids
+            .iter()
+            .any(|c| c.iter().filter(|&&t| t == 1).count() == 3));
+    }
+
+    #[test]
+    fn schedule_neighbors_dedup_and_direction() {
+        let wf = generators::pipeline(3, 1.0, 0);
+        let s = vec![1, 1, 1];
+        let all = schedule_neighbors(&wf, &s, 4, false);
+        let up_only = schedule_neighbors(&wf, &s, 4, true);
+        assert!(up_only.len() < all.len());
+        assert!(up_only.iter().all(|c| c.iter().sum::<usize>() > 3));
+        // No duplicates.
+        let mut sorted = all.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), all.len());
+    }
+
+    #[test]
+    fn pipeline_levels_are_singletons() {
+        // Level moves on a chain degenerate to single-task moves; ensure we
+        // do not produce the unchanged state.
+        let wf = generators::pipeline(4, 1.0, 0);
+        let s = vec![3; 4];
+        assert!(level_promotions(&wf, &s, 4).is_empty());
+    }
+}

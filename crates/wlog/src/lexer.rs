@@ -1,0 +1,296 @@
+//! Tokenizer for WLog source text.
+//!
+//! Beyond ProLog's lexicon, WLog adds percent literals (`95%` in
+//! `deadline(95%, 10h)`) and duration literals (`10h`, `30m`, `45s`),
+//! which the parser folds into plain numbers (fractions and seconds).
+
+/// A lexical token with its source position (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Lowercase-initial identifier: `cost`, `m1_small`.
+    Atom(String),
+    /// Uppercase/underscore-initial identifier: `Tid`, `_`.
+    Var(String),
+    /// Numeric literal (percent and duration suffixes already applied).
+    Num(f64),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Dot,
+    Bar,
+    /// `:-`
+    Neck,
+    /// `!`
+    Cut,
+    /// Arithmetic / comparison operator symbol: `+ - * / < > =< >= == \== =:= =`
+    Op(String),
+}
+
+/// Lexer error: position and message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    pub pos: usize,
+    pub msg: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a full source string.
+pub fn lex(src: &str) -> Result<Vec<(usize, Tok)>, LexError> {
+    let b = src.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < b.len() {
+        let c = b[i];
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments: /* ... */ and % ... end-of-line. A '%' immediately
+        // after a number is a percent suffix, handled in the number rule,
+        // so a comment '%' only appears where a token may start.
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let start = i;
+            i += 2;
+            loop {
+                if i + 1 >= b.len() {
+                    return Err(LexError {
+                        pos: start,
+                        msg: "unterminated /* comment".into(),
+                    });
+                }
+                if b[i] == b'*' && b[i + 1] == b'/' {
+                    i += 2;
+                    break;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        if c == b'%' {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let pos = i;
+        // Numbers, with optional suffix: % (fraction), h/m/s (seconds).
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'.') {
+                // A '.' followed by a non-digit is the clause terminator.
+                if b[i] == b'.' && (i + 1 >= b.len() || !b[i + 1].is_ascii_digit()) {
+                    break;
+                }
+                i += 1;
+            }
+            let text = &src[start..i];
+            let mut value: f64 = text.parse().map_err(|_| LexError {
+                pos: start,
+                msg: format!("bad number {text:?}"),
+            })?;
+            if i < b.len() {
+                match b[i] {
+                    b'%' => {
+                        value /= 100.0;
+                        i += 1;
+                    }
+                    b'h' if !ident_continues(b, i + 1) => {
+                        value *= 3600.0;
+                        i += 1;
+                    }
+                    b'm' if !ident_continues(b, i + 1) => {
+                        value *= 60.0;
+                        i += 1;
+                    }
+                    b's' if !ident_continues(b, i + 1) => {
+                        i += 1;
+                    }
+                    _ => {}
+                }
+            }
+            out.push((pos, Tok::Num(value)));
+            continue;
+        }
+        // Identifiers.
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < b.len()
+                && (b[i].is_ascii_alphanumeric() || b[i] == b'_')
+            {
+                i += 1;
+            }
+            let word = &src[start..i];
+            if c.is_ascii_uppercase() || c == b'_' {
+                out.push((pos, Tok::Var(word.to_string())));
+            } else {
+                out.push((pos, Tok::Atom(word.to_string())));
+            }
+            continue;
+        }
+        // Punctuation and operators.
+        macro_rules! two {
+            ($s:expr, $t:expr) => {
+                if src[i..].starts_with($s) {
+                    out.push((pos, $t));
+                    i += $s.len();
+                    continue;
+                }
+            };
+        }
+        two!(":-", Tok::Neck);
+        two!("\\==", Tok::Op("\\==".into()));
+        two!("=:=", Tok::Op("=:=".into()));
+        two!("==", Tok::Op("==".into()));
+        two!("=<", Tok::Op("=<".into()));
+        two!(">=", Tok::Op(">=".into()));
+        match c {
+            b'(' => out.push((pos, Tok::LParen)),
+            b')' => out.push((pos, Tok::RParen)),
+            b'[' => out.push((pos, Tok::LBracket)),
+            b']' => out.push((pos, Tok::RBracket)),
+            b',' => out.push((pos, Tok::Comma)),
+            b'.' => out.push((pos, Tok::Dot)),
+            b'|' => out.push((pos, Tok::Bar)),
+            b'!' => out.push((pos, Tok::Cut)),
+            b'+' | b'-' | b'*' | b'/' | b'<' | b'>' | b'=' => {
+                out.push((pos, Tok::Op((c as char).to_string())))
+            }
+            other => {
+                return Err(LexError {
+                    pos,
+                    msg: format!("unexpected character {:?}", other as char),
+                })
+            }
+        }
+        i += 1;
+    }
+    Ok(out)
+}
+
+/// Whether an identifier character follows at position `i` (to distinguish
+/// the duration suffix `10h` from an atom starting with h, e.g. `10 hours`
+/// never lexes but `maxtime` after a number must not steal the `m`).
+fn ident_continues(b: &[u8], i: usize) -> bool {
+    i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|(_, t)| t).collect()
+    }
+
+    #[test]
+    fn atoms_vars_numbers() {
+        assert_eq!(
+            toks("cost Tid 3.5 _x"),
+            vec![
+                Tok::Atom("cost".into()),
+                Tok::Var("Tid".into()),
+                Tok::Num(3.5),
+                Tok::Var("_x".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn percent_and_duration_literals() {
+        assert_eq!(toks("95%"), vec![Tok::Num(0.95)]);
+        assert_eq!(toks("10h"), vec![Tok::Num(36000.0)]);
+        assert_eq!(toks("30m"), vec![Tok::Num(1800.0)]);
+        assert_eq!(toks("45s"), vec![Tok::Num(45.0)]);
+        // No suffix when an identifier continues: `10hours` is an error-free
+        // `10` then atom `hours`? No — h swallows only when not followed by
+        // ident chars, so this lexes as 10 then `hours`.
+        assert_eq!(
+            toks("10hours"),
+            vec![Tok::Num(10.0), Tok::Atom("hours".into())]
+        );
+    }
+
+    #[test]
+    fn clause_terminator_vs_decimal_point() {
+        assert_eq!(
+            toks("x(3.5)."),
+            vec![
+                Tok::Atom("x".into()),
+                Tok::LParen,
+                Tok::Num(3.5),
+                Tok::RParen,
+                Tok::Dot
+            ]
+        );
+        assert_eq!(toks("3."), vec![Tok::Num(3.0), Tok::Dot]);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks(":- =< >= == \\== =:= < > = + - * /"),
+            vec![
+                Tok::Neck,
+                Tok::Op("=<".into()),
+                Tok::Op(">=".into()),
+                Tok::Op("==".into()),
+                Tok::Op("\\==".into()),
+                Tok::Op("=:=".into()),
+                Tok::Op("<".into()),
+                Tok::Op(">".into()),
+                Tok::Op("=".into()),
+                Tok::Op("+".into()),
+                Tok::Op("-".into()),
+                Tok::Op("*".into()),
+                Tok::Op("/".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("a /* hi */ b % line\n c"),
+            vec![
+                Tok::Atom("a".into()),
+                Tok::Atom("b".into()),
+                Tok::Atom("c".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("a /* oops").is_err());
+    }
+
+    #[test]
+    fn stray_character_errors() {
+        assert!(lex("a @ b").is_err());
+    }
+
+    #[test]
+    fn cut_and_lists() {
+        assert_eq!(
+            toks("[H|T] !"),
+            vec![
+                Tok::LBracket,
+                Tok::Var("H".into()),
+                Tok::Bar,
+                Tok::Var("T".into()),
+                Tok::RBracket,
+                Tok::Cut
+            ]
+        );
+    }
+}

@@ -1,0 +1,748 @@
+//! The WLog interpreter: SLD resolution with backtracking, cut, and the
+//! ProLog built-ins the paper's programs use (Section 4.1).
+//!
+//! Resolution is continuation-by-concatenation: expanding a call pushes the
+//! clause body in front of the remaining goals. Cut is compiled at clause
+//! activation into `$cut(id)` where `id` identifies the activation's
+//! choice-point frame, so a cut prunes exactly the clause alternatives of
+//! its own predicate call.
+
+use crate::ast::{Clause, Term};
+use crate::unify::{term_cmp, Bindings};
+use std::collections::HashMap;
+
+/// Outcome signal threaded through the resolution stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flow {
+    /// Branch exhausted; keep backtracking.
+    Continue,
+    /// The solution consumer asked to stop the whole search.
+    Stop,
+    /// A cut fired; prune choice points up to the activation `id`.
+    Cut(u64),
+}
+
+/// Errors raised during interpretation (bad arithmetic, unknown builtins
+/// used wrongly, …). Unknown *predicates* simply fail, as in ProLog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineError(pub String);
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wlog runtime error: {}", self.0)
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// A clause database indexed by functor/arity.
+#[derive(Debug, Default, Clone)]
+pub struct Database {
+    clauses: HashMap<(String, usize), Vec<Clause>>,
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn assert(&mut self, c: Clause) {
+        let (f, n) = c
+            .head
+            .functor()
+            .map(|(f, n)| (f.to_string(), n))
+            .expect("clause head must be callable");
+        self.clauses.entry((f, n)).or_default().push(c);
+    }
+
+    pub fn assert_fact(&mut self, head: Term) {
+        self.assert(Clause::fact(head));
+    }
+
+    /// Remove every clause of a functor/arity (used to swap per-state
+    /// `configs` facts between search states).
+    pub fn retract_all(&mut self, functor: &str, arity: usize) {
+        self.clauses.remove(&(functor.to_string(), arity));
+    }
+
+    fn matching(&self, t: &Term) -> &[Clause] {
+        t.functor()
+            .and_then(|(f, n)| self.clauses.get(&(f.to_string(), n)))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    pub fn len(&self) -> usize {
+        self.clauses.values().map(|v| v.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+}
+
+/// The interpreter. Owns the rename counter; borrows the database per
+/// query so the engine can mutate facts between queries.
+pub struct Machine {
+    pub db: Database,
+    /// Facts layered on top of `db` without mutating it — the Monte-Carlo
+    /// evaluator swaps one sampled realization in and out per iteration,
+    /// and the solver swaps per-state `configs` facts.
+    pub overlay: Database,
+    counter: u64,
+    /// Backtracking-step budget per query; guards against runaway searches
+    /// in user programs (None = unlimited).
+    pub step_limit: Option<u64>,
+    steps: u64,
+}
+
+impl Machine {
+    pub fn new(db: Database) -> Self {
+        Machine {
+            db,
+            overlay: Database::new(),
+            counter: 0,
+            step_limit: None,
+            steps: 0,
+        }
+    }
+
+    /// All solutions of `query`, each reported as the resolved query term.
+    pub fn solve_all(&mut self, query: &Term) -> Result<Vec<Term>, MachineError> {
+        let mut out = Vec::new();
+        self.run(query, &mut |b| {
+            out.push(b.resolve(query));
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// First solution, if any, as the resolved query term.
+    pub fn solve_first(&mut self, query: &Term) -> Result<Option<Term>, MachineError> {
+        let mut out = None;
+        self.run(query, &mut |b| {
+            out = Some(b.resolve(query));
+            false
+        })?;
+        Ok(out)
+    }
+
+    /// Whether the query has at least one solution.
+    pub fn provable(&mut self, query: &Term) -> Result<bool, MachineError> {
+        Ok(self.solve_first(query)?.is_some())
+    }
+
+    /// Stack reserved for a query's resolution. SLD resolution recurses one
+    /// Rust frame per resolution step, so deep derivations (long findall
+    /// sweeps over 1000-task workflows) need far more stack than a default
+    /// thread provides; each query runs on a dedicated big-stack thread.
+    const QUERY_STACK_BYTES: usize = 256 * 1024 * 1024;
+
+    /// Run a closure on a dedicated thread with [`Self::QUERY_STACK_BYTES`]
+    /// of stack. Batch evaluators (Monte-Carlo loops) wrap their whole loop
+    /// in one call instead of paying a thread spawn per query.
+    pub fn on_big_stack<R: Send>(f: impl FnOnce() -> R + Send) -> R {
+        std::thread::scope(|scope| {
+            std::thread::Builder::new()
+                .stack_size(Self::QUERY_STACK_BYTES)
+                .spawn_scoped(scope, f)
+                .expect("failed to spawn query thread")
+                .join()
+                .expect("query thread panicked")
+        })
+    }
+
+    /// Run `query`, invoking `on_solution` with the bindings for each
+    /// solution; the callback returns `false` to stop the search.
+    pub fn run(
+        &mut self,
+        query: &Term,
+        on_solution: &mut (dyn FnMut(&Bindings) -> bool + Send),
+    ) -> Result<(), MachineError> {
+        let this = &mut *self;
+        let q = query;
+        Self::on_big_stack(move || this.run_local(q, on_solution))
+    }
+
+    /// Like [`Machine::run`] but on the caller's stack. Only safe to call
+    /// from inside [`Machine::on_big_stack`] (or for shallow programs).
+    pub fn run_local(
+        &mut self,
+        query: &Term,
+        on_solution: &mut dyn FnMut(&Bindings) -> bool,
+    ) -> Result<(), MachineError> {
+        self.steps = 0;
+        let mut b = Bindings::new();
+        self.solve(&[query.clone()], &mut b, on_solution).map(|_| ())
+    }
+
+    fn budget(&mut self) -> Result<(), MachineError> {
+        self.steps += 1;
+        if let Some(limit) = self.step_limit {
+            if self.steps > limit {
+                return Err(MachineError(format!("step limit {limit} exceeded")));
+            }
+        }
+        Ok(())
+    }
+
+    fn solve(
+        &mut self,
+        goals: &[Term],
+        b: &mut Bindings,
+        f: &mut dyn FnMut(&Bindings) -> bool,
+    ) -> Result<Flow, MachineError> {
+        self.budget()?;
+        let Some(goal) = goals.first() else {
+            return Ok(if f(b) { Flow::Continue } else { Flow::Stop });
+        };
+        let rest = &goals[1..];
+        let g = b.walk(goal).clone();
+        match &g {
+            // Conjunction goal (from queries): flatten into the goal list.
+            Term::Compound(op, args) if op == "," && args.len() == 2 => {
+                let mut new_goals = vec![args[0].clone(), args[1].clone()];
+                new_goals.extend_from_slice(rest);
+                self.solve(&new_goals, b, f)
+            }
+            Term::Compound(op, args) if op == "$cut" && args.len() == 1 => {
+                let id = args[0].as_num().unwrap() as u64;
+                match self.solve(rest, b, f)? {
+                    Flow::Continue => Ok(Flow::Cut(id)),
+                    other => Ok(other),
+                }
+            }
+            Term::Atom(a) if a == "true" => self.solve(rest, b, f),
+            Term::Atom(a) if a == "fail" || a == "false" => Ok(Flow::Continue),
+            _ if self.is_builtin(&g) => self.call_builtin(&g, rest, b, f),
+            Term::Atom(_) | Term::Compound(..) => self.call_user(&g, rest, b, f),
+            other => Err(MachineError(format!("goal is not callable: {other}"))),
+        }
+    }
+
+    fn call_user(
+        &mut self,
+        g: &Term,
+        rest: &[Term],
+        b: &mut Bindings,
+        f: &mut dyn FnMut(&Bindings) -> bool,
+    ) -> Result<Flow, MachineError> {
+        self.counter += 1;
+        let frame_id = self.counter;
+        let mut candidates: Vec<Clause> = self.db.matching(g).to_vec();
+        candidates.extend_from_slice(self.overlay.matching(g));
+        for clause in candidates {
+            let activated = clause.rename(&mut self.counter);
+            // Compile top-level cuts in the body to this frame's barrier.
+            let body: Vec<Term> = activated
+                .body
+                .iter()
+                .map(|t| match t {
+                    Term::Atom(a) if a == "!" => {
+                        Term::compound("$cut", vec![Term::num(frame_id as f64)])
+                    }
+                    other => other.clone(),
+                })
+                .collect();
+            let mark = b.mark();
+            if b.unify(g, &activated.head) {
+                let mut new_goals = body;
+                new_goals.extend_from_slice(rest);
+                match self.solve(&new_goals, b, f)? {
+                    Flow::Continue => {}
+                    Flow::Cut(id) if id == frame_id => {
+                        b.undo(mark);
+                        return Ok(Flow::Continue);
+                    }
+                    other => return Ok(other),
+                }
+            }
+            b.undo(mark);
+        }
+        Ok(Flow::Continue)
+    }
+
+    fn is_builtin(&self, g: &Term) -> bool {
+        matches!(
+            g.functor(),
+            Some(("is", 2))
+                | Some(("<", 2))
+                | Some((">", 2))
+                | Some(("=<", 2))
+                | Some((">=", 2))
+                | Some(("=:=", 2))
+                | Some(("==", 2))
+                | Some(("\\==", 2))
+                | Some(("=", 2))
+                | Some(("findall", 3))
+                | Some(("setof", 3))
+                | Some(("sum", 2))
+                | Some(("max", 2))
+                | Some(("min", 2))
+                | Some(("length", 2))
+                | Some(("member", 2))
+                | Some(("append", 3))
+                | Some(("not", 1))
+                | Some(("\\+", 1))
+        )
+    }
+
+    fn call_builtin(
+        &mut self,
+        g: &Term,
+        rest: &[Term],
+        b: &mut Bindings,
+        f: &mut dyn FnMut(&Bindings) -> bool,
+    ) -> Result<Flow, MachineError> {
+        let (name, args) = match g {
+            Term::Compound(n, a) => (n.as_str(), a.clone()),
+            _ => unreachable!("builtins are compounds"),
+        };
+        match (name, args.len()) {
+            ("is", 2) => {
+                let v = self.eval_arith(&args[1], b)?;
+                let mark = b.mark();
+                if b.unify(&args[0], &Term::Num(v)) {
+                    let r = self.solve(rest, b, f)?;
+                    if r != Flow::Continue {
+                        return Ok(r);
+                    }
+                }
+                b.undo(mark);
+                Ok(Flow::Continue)
+            }
+            ("<", 2) | (">", 2) | ("=<", 2) | (">=", 2) | ("=:=", 2) => {
+                let x = self.eval_arith(&args[0], b)?;
+                let y = self.eval_arith(&args[1], b)?;
+                let ok = match name {
+                    "<" => x < y,
+                    ">" => x > y,
+                    "=<" => x <= y,
+                    ">=" => x >= y,
+                    _ => x == y,
+                };
+                if ok {
+                    self.solve(rest, b, f)
+                } else {
+                    Ok(Flow::Continue)
+                }
+            }
+            ("==", 2) | ("\\==", 2) => {
+                let eq = b.resolve(&args[0]) == b.resolve(&args[1]);
+                if eq == (name == "==") {
+                    self.solve(rest, b, f)
+                } else {
+                    Ok(Flow::Continue)
+                }
+            }
+            ("=", 2) => {
+                let mark = b.mark();
+                if b.unify(&args[0], &args[1]) {
+                    let r = self.solve(rest, b, f)?;
+                    if r != Flow::Continue {
+                        return Ok(r);
+                    }
+                }
+                b.undo(mark);
+                Ok(Flow::Continue)
+            }
+            ("findall", 3) => {
+                let collected = self.collect(&args[0], &args[1], b)?;
+                let mark = b.mark();
+                if b.unify(&args[2], &Term::list(collected)) {
+                    let r = self.solve(rest, b, f)?;
+                    if r != Flow::Continue {
+                        return Ok(r);
+                    }
+                }
+                b.undo(mark);
+                Ok(Flow::Continue)
+            }
+            ("setof", 3) => {
+                let mut collected = self.collect(&args[0], &args[1], b)?;
+                collected.sort_by(term_cmp);
+                collected.dedup();
+                if collected.is_empty() {
+                    return Ok(Flow::Continue); // setof fails on empty
+                }
+                let mark = b.mark();
+                if b.unify(&args[2], &Term::list(collected)) {
+                    let r = self.solve(rest, b, f)?;
+                    if r != Flow::Continue {
+                        return Ok(r);
+                    }
+                }
+                b.undo(mark);
+                Ok(Flow::Continue)
+            }
+            ("sum", 2) => {
+                let items = self.list_items(&args[0], b)?;
+                let mut s = 0.0;
+                for it in &items {
+                    s += it
+                        .as_num()
+                        .ok_or_else(|| MachineError(format!("sum: non-number {it}")))?;
+                }
+                let mark = b.mark();
+                if b.unify(&args[1], &Term::Num(s)) {
+                    let r = self.solve(rest, b, f)?;
+                    if r != Flow::Continue {
+                        return Ok(r);
+                    }
+                }
+                b.undo(mark);
+                Ok(Flow::Continue)
+            }
+            ("max", 2) | ("min", 2) => {
+                let items = self.list_items(&args[0], b)?;
+                if items.is_empty() {
+                    return Ok(Flow::Continue);
+                }
+                let key = |t: &Term| -> f64 {
+                    match t {
+                        Term::Num(x) => *x,
+                        // Pair convention of Example 1: [Tag, Value] compares
+                        // by the trailing numeric value.
+                        Term::List(xs, _) => xs.last().and_then(Term::as_num).unwrap_or(f64::NAN),
+                        _ => f64::NAN,
+                    }
+                };
+                let best = items
+                    .iter()
+                    .max_by(|a, c| {
+                        let (ka, kc) = (key(a), key(c));
+                        let ord = ka.partial_cmp(&kc).unwrap_or(std::cmp::Ordering::Equal);
+                        if name == "max" {
+                            ord
+                        } else {
+                            ord.reverse()
+                        }
+                    })
+                    .unwrap()
+                    .clone();
+                let mark = b.mark();
+                if b.unify(&args[1], &best) {
+                    let r = self.solve(rest, b, f)?;
+                    if r != Flow::Continue {
+                        return Ok(r);
+                    }
+                }
+                b.undo(mark);
+                Ok(Flow::Continue)
+            }
+            ("length", 2) => {
+                let items = self.list_items(&args[0], b)?;
+                let mark = b.mark();
+                if b.unify(&args[1], &Term::Num(items.len() as f64)) {
+                    let r = self.solve(rest, b, f)?;
+                    if r != Flow::Continue {
+                        return Ok(r);
+                    }
+                }
+                b.undo(mark);
+                Ok(Flow::Continue)
+            }
+            ("member", 2) => {
+                let items = self.list_items(&args[1], b)?;
+                for it in items {
+                    let mark = b.mark();
+                    if b.unify(&args[0], &it) {
+                        let r = self.solve(rest, b, f)?;
+                        if r != Flow::Continue {
+                            return Ok(r);
+                        }
+                    }
+                    b.undo(mark);
+                }
+                Ok(Flow::Continue)
+            }
+            ("append", 3) => {
+                // Enumerate splits when the first two are unbound; fast path
+                // when both are proper lists.
+                let a0 = b.resolve(&args[0]);
+                let a1 = b.resolve(&args[1]);
+                if let (Term::List(x, None), Term::List(y, None)) = (&a0, &a1) {
+                    let mut joined = x.clone();
+                    joined.extend(y.iter().cloned());
+                    let mark = b.mark();
+                    if b.unify(&args[2], &Term::list(joined)) {
+                        let r = self.solve(rest, b, f)?;
+                        if r != Flow::Continue {
+                            return Ok(r);
+                        }
+                    }
+                    b.undo(mark);
+                    return Ok(Flow::Continue);
+                }
+                let items = self.list_items(&args[2], b)?;
+                for split in 0..=items.len() {
+                    let mark = b.mark();
+                    if b.unify(&args[0], &Term::list(items[..split].to_vec()))
+                        && b.unify(&args[1], &Term::list(items[split..].to_vec()))
+                    {
+                        let r = self.solve(rest, b, f)?;
+                        if r != Flow::Continue {
+                            return Ok(r);
+                        }
+                    }
+                    b.undo(mark);
+                }
+                Ok(Flow::Continue)
+            }
+            ("not", 1) | ("\\+", 1) => {
+                let goal = b.resolve(&args[0]);
+                let mut found = false;
+                let mut inner = Bindings::new();
+                self.solve(&[goal], &mut inner, &mut |_| {
+                    found = true;
+                    false
+                })?;
+                if found {
+                    Ok(Flow::Continue)
+                } else {
+                    self.solve(rest, b, f)
+                }
+            }
+            _ => unreachable!("is_builtin and call_builtin disagree on {name}"),
+        }
+    }
+
+    /// Collect all instantiations of `template` under solutions of `goal`.
+    fn collect(
+        &mut self,
+        template: &Term,
+        goal: &Term,
+        b: &mut Bindings,
+    ) -> Result<Vec<Term>, MachineError> {
+        let goal = b.resolve(goal);
+        let template = b.resolve(template);
+        let mut out = Vec::new();
+        let mut inner = Bindings::new();
+        self.solve(&[goal], &mut inner, &mut |bb| {
+            out.push(bb.resolve(&template));
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// Resolve a proper list into its items.
+    fn list_items(&self, t: &Term, b: &Bindings) -> Result<Vec<Term>, MachineError> {
+        match b.resolve(t) {
+            Term::List(items, None) => Ok(items),
+            other => Err(MachineError(format!("expected a proper list, got {other}"))),
+        }
+    }
+
+    /// Arithmetic evaluation for `is` and comparisons.
+    fn eval_arith(&self, t: &Term, b: &Bindings) -> Result<f64, MachineError> {
+        let t = b.walk(t).clone();
+        match &t {
+            Term::Num(x) => Ok(*x),
+            Term::Compound(op, args) if args.len() == 2 => {
+                let x = self.eval_arith(&args[0], b)?;
+                let y = self.eval_arith(&args[1], b)?;
+                match op.as_str() {
+                    "+" => Ok(x + y),
+                    "-" => Ok(x - y),
+                    "*" => Ok(x * y),
+                    "/" => {
+                        if y == 0.0 {
+                            Err(MachineError("division by zero".into()))
+                        } else {
+                            Ok(x / y)
+                        }
+                    }
+                    "min" => Ok(x.min(y)),
+                    "max" => Ok(x.max(y)),
+                    "pow" => Ok(x.powf(y)),
+                    _ => Err(MachineError(format!("unknown arithmetic operator {op}"))),
+                }
+            }
+            Term::Compound(op, args) if args.len() == 1 && op == "-" => {
+                Ok(-self.eval_arith(&args[0], b)?)
+            }
+            Term::Var(v) => Err(MachineError(format!("unbound variable {v} in arithmetic"))),
+            other => Err(MachineError(format!("non-arithmetic term {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_clauses;
+
+    fn machine(src: &str) -> Machine {
+        let mut db = Database::new();
+        for c in parse_clauses(src).unwrap() {
+            db.assert(c);
+        }
+        Machine::new(db)
+    }
+
+    fn q(m: &mut Machine, query: &str) -> Vec<String> {
+        let t = crate::parser::parse_query(query).unwrap();
+        m.solve_all(&t)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn facts_and_conjunction() {
+        let mut m = machine("parent(a,b). parent(b,c). grand(X,Z) :- parent(X,Y), parent(Y,Z).");
+        assert_eq!(q(&mut m, "grand(X,Z)"), vec!["grand(a,c)"]);
+    }
+
+    #[test]
+    fn recursion_ancestor() {
+        let mut m = machine(
+            "parent(a,b). parent(b,c). parent(c,d).
+             anc(X,Y) :- parent(X,Y).
+             anc(X,Z) :- parent(X,Y), anc(Y,Z).",
+        );
+        let sols = q(&mut m, "anc(a,W)");
+        assert_eq!(sols, vec!["anc(a,b)", "anc(a,c)", "anc(a,d)"]);
+    }
+
+    #[test]
+    fn arithmetic_is() {
+        let mut m = machine("double(X,Y) :- Y is X*2.");
+        assert_eq!(q(&mut m, "double(21,Y)"), vec!["double(21,42)"]);
+    }
+
+    #[test]
+    fn comparisons_filter() {
+        let mut m = machine("n(1). n(2). n(3). big(X) :- n(X), X >= 2.");
+        assert_eq!(q(&mut m, "big(X)"), vec!["big(2)", "big(3)"]);
+    }
+
+    #[test]
+    fn structural_equality() {
+        let mut m = machine("p(a). p(b). diff(X,Y) :- p(X), p(Y), X \\== Y.");
+        assert_eq!(q(&mut m, "diff(X,Y)"), vec!["diff(a,b)", "diff(b,a)"]);
+    }
+
+    #[test]
+    fn findall_collects_everything() {
+        // The template variable stays unbound outside findall; only the
+        // collected list is visible.
+        let mut m = machine("n(1). n(2). n(3).");
+        assert_eq!(
+            q(&mut m, "findall(X, n(X), L)"),
+            vec!["findall(X,n(X),[1,2,3])"]
+        );
+    }
+
+    #[test]
+    fn findall_then_sum() {
+        let mut m = machine("cost(3). cost(4.5). total(S) :- findall(C, cost(C), L), sum(L, S).");
+        assert_eq!(q(&mut m, "total(S)"), vec!["total(7.5)"]);
+    }
+
+    #[test]
+    fn setof_sorts_and_dedups_and_fails_empty() {
+        let mut m = machine("n(3). n(1). n(3).");
+        assert_eq!(q(&mut m, "setof(X, n(X), L)"), vec!["setof(X,n(X),[1,3])"]);
+        assert!(q(&mut m, "setof(X, zzz(X), L)").is_empty());
+    }
+
+    #[test]
+    fn max_over_pairs_uses_trailing_value() {
+        // Example 1's idiom: max(Set, [Path, T]) over [Z, T1] pairs.
+        let mut m = machine("pair([a, 3]). pair([b, 7]). pair([c, 5]).");
+        let sols = q(&mut m, "findall(P, pair(P), L), max(L, M)");
+        assert_eq!(sols.len(), 1);
+        assert!(sols[0].contains("[b,7]"), "got {}", sols[0]);
+    }
+
+    #[test]
+    fn min_over_numbers() {
+        let mut m = machine("");
+        assert_eq!(q(&mut m, "min([3,1,2], M)"), vec!["min([3,1,2],1)"]);
+    }
+
+    #[test]
+    fn cut_commits_to_first_clause() {
+        let mut m = machine(
+            "first(X) :- n(X), !.
+             n(1). n(2). n(3).",
+        );
+        assert_eq!(q(&mut m, "first(X)"), vec!["first(1)"]);
+    }
+
+    #[test]
+    fn cut_is_local_to_its_predicate() {
+        let mut m = machine(
+            "pick(X) :- n(X), !.
+             n(1). n(2).
+             outer(X,Y) :- m(Y), pick(X).
+             m(a). m(b).",
+        );
+        // Cut inside pick/1 must not prune m/1's alternatives.
+        assert_eq!(q(&mut m, "outer(X,Y)"), vec!["outer(1,a)", "outer(1,b)"]);
+    }
+
+    #[test]
+    fn negation_as_failure() {
+        let mut m = machine("n(1). n(2). absent(X) :- not(n(X)).");
+        assert!(q(&mut m, "absent(3)").len() == 1);
+        assert!(q(&mut m, "absent(1)").is_empty());
+    }
+
+    #[test]
+    fn member_and_append_and_length() {
+        let mut m = machine("");
+        assert_eq!(q(&mut m, "member(X, [a,b])"), vec!["member(a,[a,b])", "member(b,[a,b])"]);
+        assert_eq!(
+            q(&mut m, "append([1],[2,3],L)"),
+            vec!["append([1],[2,3],[1,2,3])"]
+        );
+        assert_eq!(q(&mut m, "length([a,b,c],N)"), vec!["length([a,b,c],3)"]);
+    }
+
+    #[test]
+    fn unknown_predicate_fails_quietly() {
+        let mut m = machine("p(a).");
+        assert!(q(&mut m, "q(X)").is_empty());
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        let mut m = machine("bad(Y) :- Y is 1/0.");
+        let t = crate::parser::parse_query("bad(Y)").unwrap();
+        assert!(m.solve_all(&t).is_err());
+    }
+
+    #[test]
+    fn unbound_arithmetic_is_an_error() {
+        let mut m = machine("");
+        let t = crate::parser::parse_query("X is Y+1").unwrap();
+        assert!(m.solve_all(&t).is_err());
+    }
+
+    #[test]
+    fn step_limit_guards_infinite_loops() {
+        let mut m = machine("loop :- loop.");
+        m.step_limit = Some(10_000);
+        let t = crate::parser::parse_query("loop").unwrap();
+        assert!(m.solve_all(&t).is_err());
+    }
+
+    #[test]
+    fn retract_all_swaps_facts() {
+        let mut m = machine("cfg(t0, v0, 1).");
+        assert_eq!(q(&mut m, "cfg(T,V,C)").len(), 1);
+        m.db.retract_all("cfg", 3);
+        assert!(q(&mut m, "cfg(T,V,C)").is_empty());
+        m.db.assert_fact(crate::parser::parse_query("cfg(t0, v1, 1)").unwrap());
+        assert_eq!(q(&mut m, "cfg(T,V,C)"), vec!["cfg(t0,v1,1)"]);
+    }
+
+    #[test]
+    fn unification_builtin() {
+        let mut m = machine("");
+        assert_eq!(q(&mut m, "f(X,2) = f(1,Y)"), vec!["=(f(1,2),f(1,2))"]);
+    }
+}

@@ -1,0 +1,536 @@
+//! Parser for WLog source text.
+//!
+//! Handles the ProLog core (clauses, facts, lists, cut, arithmetic
+//! expressions with `* /` over `+ -` precedence) and the WLog statement
+//! forms of Table 1 / Example 1:
+//!
+//! ```text
+//! import(amazonec2).
+//! minimize Ct in totalcost(Ct).
+//! T in maxtime(Path,T) satisfies deadline(95%,10h).
+//! configs(Tid,Vid,Con) forall task(Tid) and vm(Vid).
+//! enabled(astar).
+//! ```
+
+use crate::ast::{Clause, Term};
+use crate::lexer::{lex, Tok};
+use crate::program::{Constraint, ConstraintKind, Goal, GoalKind, VarDecl, WlogProgram};
+
+/// Parse error with byte position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub pos: usize,
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    i: usize,
+}
+
+const CMP_OPS: [&str; 7] = ["==", "\\==", "=<", ">=", "=:=", "<", ">"];
+
+impl Parser {
+    fn new(src: &str) -> Result<Self, ParseError> {
+        let toks = lex(src).map_err(|e| ParseError {
+            pos: e.pos,
+            msg: e.msg,
+        })?;
+        Ok(Parser { toks, i: 0 })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i).map(|(_, t)| t)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.i + 1).map(|(_, t)| t)
+    }
+
+    fn pos(&self) -> usize {
+        self.toks
+            .get(self.i)
+            .or_else(|| self.toks.last())
+            .map(|(p, _)| *p)
+            .unwrap_or(0)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.i).map(|(_, t)| t.clone());
+        self.i += 1;
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            pos: self.pos(),
+            msg: msg.into(),
+        })
+    }
+
+    fn eat(&mut self, t: &Tok) -> Result<(), ParseError> {
+        if self.peek() == Some(t) {
+            self.i += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected {t:?}, found {:?}", self.peek()))
+        }
+    }
+
+    fn eat_atom(&mut self, word: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Atom(a)) if a == word) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    // -- terms ------------------------------------------------------------
+
+    /// primary := Num | Var | atom['(' args ')'] | '[' list ']' | '(' expr ')'
+    ///          | '-' primary | '!'
+    fn primary(&mut self) -> Result<Term, ParseError> {
+        match self.next() {
+            Some(Tok::Num(x)) => Ok(Term::Num(x)),
+            Some(Tok::Var(v)) => Ok(Term::Var(v)),
+            Some(Tok::Cut) => Ok(Term::atom("!")),
+            Some(Tok::Atom(a)) => {
+                if self.peek() == Some(&Tok::LParen) {
+                    self.i += 1;
+                    let mut args = vec![self.expr()?];
+                    while self.peek() == Some(&Tok::Comma) {
+                        self.i += 1;
+                        args.push(self.expr()?);
+                    }
+                    self.eat(&Tok::RParen)?;
+                    Ok(Term::Compound(a, args))
+                } else {
+                    Ok(Term::Atom(a))
+                }
+            }
+            Some(Tok::LBracket) => {
+                if self.peek() == Some(&Tok::RBracket) {
+                    self.i += 1;
+                    return Ok(Term::nil());
+                }
+                let mut items = vec![self.expr()?];
+                while self.peek() == Some(&Tok::Comma) {
+                    self.i += 1;
+                    items.push(self.expr()?);
+                }
+                let tail = if self.peek() == Some(&Tok::Bar) {
+                    self.i += 1;
+                    Some(Box::new(self.expr()?))
+                } else {
+                    None
+                };
+                self.eat(&Tok::RBracket)?;
+                Ok(Term::List(items, tail))
+            }
+            Some(Tok::LParen) => {
+                let t = self.expr()?;
+                self.eat(&Tok::RParen)?;
+                Ok(t)
+            }
+            Some(Tok::Op(op)) if op == "-" => {
+                let t = self.primary()?;
+                Ok(match t {
+                    Term::Num(x) => Term::Num(-x),
+                    other => Term::compound("-", vec![other]),
+                })
+            }
+            other => self.err(format!("expected a term, found {other:?}")),
+        }
+    }
+
+    fn mul(&mut self) -> Result<Term, ParseError> {
+        let mut t = self.primary()?;
+        while let Some(Tok::Op(op)) = self.peek() {
+            if op == "*" || op == "/" {
+                let op = op.clone();
+                self.i += 1;
+                let rhs = self.primary()?;
+                t = Term::Compound(op, vec![t, rhs]);
+            } else {
+                break;
+            }
+        }
+        Ok(t)
+    }
+
+    /// Arithmetic expression (no comparison operators).
+    fn expr(&mut self) -> Result<Term, ParseError> {
+        let mut t = self.mul()?;
+        while let Some(Tok::Op(op)) = self.peek() {
+            if op == "+" || op == "-" {
+                let op = op.clone();
+                self.i += 1;
+                let rhs = self.mul()?;
+                t = Term::Compound(op, vec![t, rhs]);
+            } else {
+                break;
+            }
+        }
+        Ok(t)
+    }
+
+    /// A body goal: expr, optionally followed by a comparison operator, the
+    /// `is` keyword, or `=`.
+    fn goal(&mut self) -> Result<Term, ParseError> {
+        let lhs = self.expr()?;
+        match self.peek() {
+            Some(Tok::Op(op)) if CMP_OPS.contains(&op.as_str()) || op == "=" => {
+                let op = op.clone();
+                self.i += 1;
+                let rhs = self.expr()?;
+                Ok(Term::Compound(op, vec![lhs, rhs]))
+            }
+            Some(Tok::Atom(a)) if a == "is" => {
+                self.i += 1;
+                let rhs = self.expr()?;
+                Ok(Term::Compound("is".into(), vec![lhs, rhs]))
+            }
+            _ => Ok(lhs),
+        }
+    }
+
+    fn goal_list_until_dot(&mut self) -> Result<Vec<Term>, ParseError> {
+        let mut goals = vec![self.goal()?];
+        loop {
+            match self.peek() {
+                Some(Tok::Comma) => {
+                    self.i += 1;
+                    goals.push(self.goal()?);
+                }
+                Some(Tok::Dot) => {
+                    self.i += 1;
+                    return Ok(goals);
+                }
+                other => return self.err(format!("expected ',' or '.', found {other:?}")),
+            }
+        }
+    }
+
+    // -- statements --------------------------------------------------------
+
+    fn clause(&mut self, head: Term) -> Result<Clause, ParseError> {
+        match self.peek() {
+            Some(Tok::Dot) => {
+                self.i += 1;
+                Ok(Clause::fact(head))
+            }
+            Some(Tok::Neck) => {
+                self.i += 1;
+                Ok(Clause::rule(head, self.goal_list_until_dot()?))
+            }
+            other => self.err(format!("expected '.' or ':-', found {other:?}")),
+        }
+    }
+
+    fn constraint_kind(&mut self) -> Result<ConstraintKind, ParseError> {
+        let t = self.goal()?;
+        let bad = |p: &Self| p.err::<ConstraintKind>("constraint must be deadline(p,b), budget(p,b), atmost(b) or atleast(b)");
+        match &t {
+            Term::Compound(f, args) if f == "deadline" && args.len() == 2 => {
+                match (args[0].as_num(), args[1].as_num()) {
+                    (Some(p), Some(b)) => Ok(ConstraintKind::Deadline {
+                        percentile: p,
+                        bound: b,
+                    }),
+                    _ => bad(self),
+                }
+            }
+            Term::Compound(f, args) if f == "budget" && args.len() == 2 => {
+                match (args[0].as_num(), args[1].as_num()) {
+                    (Some(p), Some(b)) => Ok(ConstraintKind::Budget {
+                        percentile: p,
+                        bound: b,
+                    }),
+                    _ => bad(self),
+                }
+            }
+            Term::Compound(f, args) if f == "atmost" && args.len() == 1 => match args[0].as_num() {
+                Some(b) => Ok(ConstraintKind::AtMost { bound: b }),
+                None => bad(self),
+            },
+            Term::Compound(f, args) if f == "atleast" && args.len() == 1 => match args[0].as_num()
+            {
+                Some(b) => Ok(ConstraintKind::AtLeast { bound: b }),
+                None => bad(self),
+            },
+            _ => bad(self),
+        }
+    }
+
+    fn program(&mut self) -> Result<WlogProgram, ParseError> {
+        let mut prog = WlogProgram::default();
+        while self.peek().is_some() {
+            // import(name).
+            if matches!(self.peek(), Some(Tok::Atom(a)) if a == "import")
+                && self.peek2() == Some(&Tok::LParen)
+            {
+                self.i += 2;
+                let name = match self.next() {
+                    Some(Tok::Atom(a)) => a,
+                    other => return self.err(format!("import expects an atom, found {other:?}")),
+                };
+                self.eat(&Tok::RParen)?;
+                self.eat(&Tok::Dot)?;
+                prog.imports.push(name);
+                continue;
+            }
+            // enabled(astar).
+            if matches!(self.peek(), Some(Tok::Atom(a)) if a == "enabled")
+                && self.peek2() == Some(&Tok::LParen)
+            {
+                self.i += 2;
+                if !self.eat_atom("astar") {
+                    return self.err("enabled(...) currently supports only astar");
+                }
+                self.eat(&Tok::RParen)?;
+                self.eat(&Tok::Dot)?;
+                prog.astar = true;
+                continue;
+            }
+            // minimize/maximize V in query.
+            if matches!(self.peek(), Some(Tok::Atom(a)) if a == "minimize" || a == "maximize") {
+                let kind = if self.eat_atom("minimize") {
+                    GoalKind::Minimize
+                } else {
+                    self.i += 1;
+                    GoalKind::Maximize
+                };
+                let var = match self.next() {
+                    Some(Tok::Var(v)) => v,
+                    other => {
+                        return self.err(format!("goal expects a variable, found {other:?}"))
+                    }
+                };
+                if !self.eat_atom("in") {
+                    return self.err("goal expects 'in' after the variable");
+                }
+                let query = self.goal()?;
+                self.eat(&Tok::Dot)?;
+                if prog.goal.is_some() {
+                    return self.err("multiple optimization goals");
+                }
+                prog.goal = Some(Goal { kind, var, query });
+                continue;
+            }
+            // `V in query satisfies cons.` — constraint statement.
+            if matches!(self.peek(), Some(Tok::Var(_)))
+                && matches!(self.peek2(), Some(Tok::Atom(a)) if a == "in")
+            {
+                let var = match self.next() {
+                    Some(Tok::Var(v)) => v,
+                    _ => unreachable!(),
+                };
+                self.i += 1; // 'in'
+                let query = self.goal()?;
+                if !self.eat_atom("satisfies") {
+                    return self.err("constraint expects 'satisfies'");
+                }
+                let kind = self.constraint_kind()?;
+                self.eat(&Tok::Dot)?;
+                prog.constraints.push(Constraint { var, query, kind });
+                continue;
+            }
+            // Generic head: var declaration or clause.
+            let head = self.goal()?;
+            if self.eat_atom("forall") {
+                let mut ranges = vec![self.goal()?];
+                while self.eat_atom("and") {
+                    ranges.push(self.goal()?);
+                }
+                self.eat(&Tok::Dot)?;
+                prog.vars.push(VarDecl {
+                    template: head,
+                    ranges,
+                });
+                continue;
+            }
+            prog.clauses.push(self.clause(head)?);
+        }
+        Ok(prog)
+    }
+}
+
+/// Parse a sequence of plain ProLog clauses (no WLog statements).
+pub fn parse_clauses(src: &str) -> Result<Vec<Clause>, ParseError> {
+    let mut p = Parser::new(src)?;
+    let mut out = Vec::new();
+    while p.peek().is_some() {
+        let head = p.goal()?;
+        out.push(p.clause(head)?);
+    }
+    Ok(out)
+}
+
+/// Parse a query: a comma-separated conjunction of goals (no final dot
+/// needed). Conjunctions become right-nested `','/2` terms.
+pub fn parse_query(src: &str) -> Result<Term, ParseError> {
+    let mut p = Parser::new(src)?;
+    let mut goals = vec![p.goal()?];
+    while p.peek() == Some(&Tok::Comma) {
+        p.i += 1;
+        goals.push(p.goal()?);
+    }
+    if p.peek() == Some(&Tok::Dot) {
+        p.i += 1;
+    }
+    if p.peek().is_some() {
+        return p.err("trailing tokens after query");
+    }
+    Ok(goals
+        .into_iter()
+        .rev()
+        .reduce(|acc, g| Term::Compound(",".into(), vec![g, acc]))
+        .expect("at least one goal"))
+}
+
+/// Parse a complete WLog program (Example 1's shape).
+pub fn parse_program(src: &str) -> Result<WlogProgram, ParseError> {
+    Parser::new(src)?.program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_facts_and_rules() {
+        let cs = parse_clauses("p(a). q(X) :- p(X), X \\== b.").unwrap();
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs[0].to_string(), "p(a).");
+        assert_eq!(cs[1].to_string(), "q(X) :- p(X), \\==(X,b).");
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let cs = parse_clauses("r(C) :- C is 1+2*3.").unwrap();
+        assert_eq!(cs[0].to_string(), "r(C) :- is(C,+(1,*(2,3))).");
+        let cs = parse_clauses("r(C) :- C is (1+2)*3.").unwrap();
+        assert_eq!(cs[0].to_string(), "r(C) :- is(C,*(+(1,2),3)).");
+    }
+
+    #[test]
+    fn negative_numbers_fold() {
+        let cs = parse_clauses("n(-3.5).").unwrap();
+        assert_eq!(cs[0].head, Term::compound("n", vec![Term::num(-3.5)]));
+    }
+
+    #[test]
+    fn lists_and_cut() {
+        let cs = parse_clauses("f([H|T]) :- g(H), !, f(T).").unwrap();
+        assert_eq!(cs[0].to_string(), "f([H|T]) :- g(H), !, f(T).");
+    }
+
+    #[test]
+    fn query_conjunction_nests() {
+        let q = parse_query("a(X), b(X), c").unwrap();
+        assert_eq!(q.to_string(), ",(a(X),,(b(X),c))");
+    }
+
+    #[test]
+    fn example1_program_parses() {
+        // The complete Example 1 of the paper.
+        let src = r#"
+import(amazonec2).
+import(montage).
+minimize Ct in totalcost(Ct).
+T in maxtime(Path,T) satisfies deadline(95%,10h).
+configs(Tid,Vid,Con) forall task(Tid) and vm(Vid).
+
+/*calculate the time on the edge from X to Y*/
+path(X,Y,Y,Tp) :- edge(X,Y), exetime(X,Vid,T),
+configs(X,Vid,Con), Con==1, Tp is T.
+/*calculate the time on the path from X to Y*/
+path(X,Y,Z,Tp) :- edge(X,Z), Z\==Y,
+path(Z,Y,Z2,T1), exetime(X,Vid,T),
+configs(X,Vid,Con), Con==1, Tp is T+T1.
+/*critical path from root to tail*/
+maxtime(Path,T) :- setof([Z,T1],
+path(root,tail,Z,T1), Set), max(Set, [Path,T]).
+cost(Tid,Vid,C) :- price(Vid,Up),
+exetime(Tid,Vid,T), configs(Tid,Vid,Con), C is
+T*Up*Con.
+totalcost(Ct) :- findall(C, cost(Tid,Vid,C),
+Bag), sum(Bag, Ct).
+"#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.imports, vec!["amazonec2", "montage"]);
+        let g = p.goal.as_ref().unwrap();
+        assert_eq!(g.kind, GoalKind::Minimize);
+        assert_eq!(g.var, "Ct");
+        assert_eq!(g.query.to_string(), "totalcost(Ct)");
+        assert_eq!(p.constraints.len(), 1);
+        match p.constraints[0].kind {
+            ConstraintKind::Deadline { percentile, bound } => {
+                assert!((percentile - 0.95).abs() < 1e-12);
+                assert!((bound - 36000.0).abs() < 1e-9);
+            }
+            _ => panic!("wrong constraint kind"),
+        }
+        assert_eq!(p.vars.len(), 1);
+        assert_eq!(p.vars[0].template.to_string(), "configs(Tid,Vid,Con)");
+        assert_eq!(p.vars[0].ranges.len(), 2);
+        assert_eq!(p.clauses.len(), 5);
+        assert!(!p.astar);
+    }
+
+    #[test]
+    fn astar_block_parses() {
+        let src = "enabled(astar).\ncal_g_score(C) :- totalcost(C).\nest_h_score(C) :- totalcost(C).";
+        let p = parse_program(src).unwrap();
+        assert!(p.astar);
+        assert_eq!(p.clauses.len(), 2);
+    }
+
+    #[test]
+    fn budget_constraint_parses() {
+        let p = parse_program("C in totalcost(C) satisfies budget(90%, 50).").unwrap();
+        match p.constraints[0].kind {
+            ConstraintKind::Budget { percentile, bound } => {
+                assert!((percentile - 0.9).abs() < 1e-12);
+                assert_eq!(bound, 50.0);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn deterministic_constraints_parse() {
+        let p = parse_program("T in maxtime(P,T) satisfies atmost(100).").unwrap();
+        assert!(matches!(
+            p.constraints[0].kind,
+            ConstraintKind::AtMost { bound } if bound == 100.0
+        ));
+        let p = parse_program("S in score(S) satisfies atleast(2).").unwrap();
+        assert!(matches!(
+            p.constraints[0].kind,
+            ConstraintKind::AtLeast { bound } if bound == 2.0
+        ));
+    }
+
+    #[test]
+    fn rejects_double_goal() {
+        let src = "minimize C in f(C). maximize D in g(D).";
+        assert!(parse_program(src).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_clauses("p(a) q(b).").is_err());
+        assert!(parse_query("p(a) extra").is_err());
+        assert!(parse_program("minimize in f(C).").is_err());
+    }
+}

@@ -1,0 +1,490 @@
+//! The probabilistic intermediate representation and its Monte-Carlo
+//! evaluator (Sections 5.1–5.2, Algorithm 1).
+//!
+//! A WLog program is translated into weighted rules `p : h :- body`
+//! following ProbLog syntax. Two kinds of uncertainty appear:
+//!
+//! * **independent** rules, true with probability `p` in a realization;
+//! * **annotated disjunctions** ("groups"): mutually exclusive
+//!   alternatives, exactly one of which holds per realization — the paper's
+//!   expansion of a task's execution time into one `p_j :
+//!   exetime(Tid,Vid,T_j)` fact per histogram bin.
+//!
+//! Exact ProbLog inference is intractable for large programs (the number of
+//! proofs grows exponentially), so the paper adopts Monte-Carlo
+//! approximation: sample a realization, run the deterministic interpreter
+//! on it, and average the query outcome. Sampling the realization *first*
+//! and solving deterministically is equivalent to sampling from found
+//! proofs for these program classes and has the advantage that one
+//! realization is one plain SLD query.
+
+use crate::ast::{Clause, Term};
+use crate::machine::{Database, Machine, MachineError};
+use crate::program::{Constraint, ConstraintKind, Goal, GoalKind};
+use deco_prob::mc::Estimate;
+use deco_prob::DecoRng;
+use rand::Rng;
+
+/// A weighted rule of the probabilistic IR.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbRule {
+    pub prob: f64,
+    pub clause: Clause,
+}
+
+/// A probabilistic logic program.
+#[derive(Debug, Clone, Default)]
+pub struct ProbProgram {
+    /// Rules with probability 1.0 (the deterministic translation gives
+    /// every rule probability 1.0, Section 5.1).
+    pub certain: Vec<Clause>,
+    /// Independent probabilistic rules.
+    pub independent: Vec<ProbRule>,
+    /// Annotated disjunctions: per group, `(probability, fact)`
+    /// alternatives normalized to sum 1.
+    pub groups: Vec<Vec<(f64, Term)>>,
+}
+
+impl ProbProgram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push_certain(&mut self, c: Clause) {
+        self.certain.push(c);
+    }
+
+    pub fn push_independent(&mut self, prob: f64, clause: Clause) {
+        assert!((0.0..=1.0).contains(&prob), "probability out of range: {prob}");
+        self.independent.push(ProbRule { prob, clause });
+    }
+
+    /// Add a group of mutually exclusive alternatives; weights are
+    /// normalized.
+    pub fn push_group(&mut self, alts: Vec<(f64, Term)>) {
+        assert!(!alts.is_empty(), "empty annotated disjunction");
+        let total: f64 = alts.iter().map(|(p, _)| p).sum();
+        assert!(total > 0.0, "group must carry positive mass");
+        self.groups
+            .push(alts.into_iter().map(|(p, t)| (p / total, t)).collect());
+    }
+
+    /// Total number of weighted rules (the `Rule[1..n]` array of
+    /// Algorithm 1).
+    pub fn rule_count(&self) -> usize {
+        self.certain.len()
+            + self.independent.len()
+            + self.groups.iter().map(|g| g.len()).sum::<usize>()
+    }
+}
+
+/// Evaluates queries against a probabilistic program, keeping a single
+/// interpreter whose overlay holds the current sampled realization.
+pub struct Evaluator {
+    pub machine: Machine,
+    program: ProbProgram,
+}
+
+impl Evaluator {
+    pub fn new(program: ProbProgram) -> Self {
+        let mut db = Database::new();
+        for c in &program.certain {
+            db.assert(c.clone());
+        }
+        Evaluator {
+            machine: Machine::new(db),
+            program,
+        }
+    }
+
+    /// Replace the search-state facts of one functor (e.g. `configs/3`)
+    /// with a new set — how the solver moves between states (Algorithm 2,
+    /// line 4).
+    pub fn set_state_facts(&mut self, functor: &str, arity: usize, facts: Vec<Term>) {
+        self.machine.db.retract_all(functor, arity);
+        for f in facts {
+            assert_eq!(
+                f.functor().map(|(n, a)| (n.to_string(), a)),
+                Some((functor.to_string(), arity)),
+                "state fact shape mismatch"
+            );
+            self.machine.db.assert_fact(f);
+        }
+    }
+
+    /// Sample one realization into the machine's overlay.
+    fn sample_realization(&mut self, rng: &mut DecoRng) {
+        let mut overlay = Database::new();
+        for g in &self.program.groups {
+            let u: f64 = rng.gen();
+            let mut acc = 0.0;
+            let mut chosen = &g[g.len() - 1].1;
+            for (p, t) in g {
+                acc += p;
+                if u <= acc {
+                    chosen = t;
+                    break;
+                }
+            }
+            overlay.assert_fact(chosen.clone());
+        }
+        for r in &self.program.independent {
+            if rng.gen::<f64>() < r.prob {
+                overlay.assert(r.clause.clone());
+            }
+        }
+        self.machine.overlay = overlay;
+    }
+
+    /// One realization's value of `var` under the first solution of
+    /// `query`; `None` when the query fails. Runs on the caller's stack —
+    /// batch loops wrap themselves in [`Machine::on_big_stack`].
+    fn sample_value_local(
+        &mut self,
+        query: &Term,
+        var: &str,
+        rng: &mut DecoRng,
+    ) -> Result<Option<f64>, MachineError> {
+        self.sample_realization(rng);
+        let mut out = None;
+        let v = Term::var(var);
+        self.machine.run_local(query, &mut |b| {
+            out = b.resolve(&v).as_num();
+            false
+        })?;
+        Ok(out)
+    }
+
+    /// One realization's value of `var` under the first solution of
+    /// `query`; `None` when the query fails.
+    pub fn sample_value(
+        &mut self,
+        query: &Term,
+        var: &str,
+        rng: &mut DecoRng,
+    ) -> Result<Option<f64>, MachineError> {
+        let this = &mut *self;
+        Machine::on_big_stack(move || this.sample_value_local(query, var, rng))
+    }
+
+    /// Draw `iters` realizations of a value query; failures surface as an
+    /// error (a goal query must be satisfiable in every realization).
+    pub fn value_samples(
+        &mut self,
+        query: &Term,
+        var: &str,
+        iters: usize,
+        rng: &mut DecoRng,
+    ) -> Result<Vec<f64>, MachineError> {
+        assert!(iters > 0);
+        let this = &mut *self;
+        Machine::on_big_stack(move || {
+            let mut out = Vec::with_capacity(iters);
+            for _ in 0..iters {
+                match this.sample_value_local(query, var, rng)? {
+                    Some(x) => out.push(x),
+                    None => {
+                        return Err(MachineError(format!(
+                            "query {query} failed in a sampled realization"
+                        )))
+                    }
+                }
+            }
+            Ok(out)
+        })
+    }
+
+    /// Algorithm 1, goal branch: mean of the goal value over `iters`
+    /// realizations.
+    pub fn goal_value(
+        &mut self,
+        goal: &Goal,
+        iters: usize,
+        rng: &mut DecoRng,
+    ) -> Result<Estimate, MachineError> {
+        let samples = self.value_samples(&goal.query, &goal.var, iters, rng)?;
+        let mean = deco_prob::stats::mean(&samples);
+        let se = (deco_prob::stats::variance(&samples) / samples.len() as f64).sqrt();
+        Ok(Estimate {
+            value: mean,
+            std_error: se,
+            iterations: iters,
+        })
+    }
+
+    /// Algorithm 1, constraint branch. Returns `(satisfied, estimate)`
+    /// where the estimate is the constraint probability (probabilistic
+    /// kinds) or the expected value (deterministic kinds).
+    pub fn constraint(
+        &mut self,
+        cons: &Constraint,
+        iters: usize,
+        rng: &mut DecoRng,
+    ) -> Result<(bool, Estimate), MachineError> {
+        match cons.kind {
+            ConstraintKind::Deadline { percentile, bound }
+            | ConstraintKind::Budget { percentile, bound } => {
+                let this = &mut *self;
+                let hits = Machine::on_big_stack(move || -> Result<usize, MachineError> {
+                    let mut hits = 0usize;
+                    for _ in 0..iters {
+                        match this.sample_value_local(&cons.query, &cons.var, rng)? {
+                            Some(x) if x <= bound => hits += 1,
+                            _ => {}
+                        }
+                    }
+                    Ok(hits)
+                })?;
+                let p = hits as f64 / iters as f64;
+                let est = Estimate {
+                    value: p,
+                    std_error: (p * (1.0 - p) / iters as f64).sqrt(),
+                    iterations: iters,
+                };
+                Ok((p >= percentile, est))
+            }
+            ConstraintKind::AtMost { bound } => {
+                let samples = self.value_samples(&cons.query, &cons.var, iters, rng)?;
+                let mean = deco_prob::stats::mean(&samples);
+                let est = Estimate {
+                    value: mean,
+                    std_error: (deco_prob::stats::variance(&samples) / iters as f64).sqrt(),
+                    iterations: iters,
+                };
+                Ok((mean <= bound, est))
+            }
+            ConstraintKind::AtLeast { bound } => {
+                let samples = self.value_samples(&cons.query, &cons.var, iters, rng)?;
+                let mean = deco_prob::stats::mean(&samples);
+                let est = Estimate {
+                    value: mean,
+                    std_error: (deco_prob::stats::variance(&samples) / iters as f64).sqrt(),
+                    iterations: iters,
+                };
+                Ok((mean >= bound, est))
+            }
+        }
+    }
+
+    /// Probability that a (0-ary value-less) query succeeds — the generic
+    /// ProbLog success-probability semantics, exposed for completeness and
+    /// used in tests to validate the sampler against exact inference on
+    /// small programs.
+    pub fn success_probability(
+        &mut self,
+        query: &Term,
+        iters: usize,
+        rng: &mut DecoRng,
+    ) -> Result<Estimate, MachineError> {
+        let this = &mut *self;
+        let hits = Machine::on_big_stack(move || -> Result<usize, MachineError> {
+            let mut hits = 0usize;
+            for _ in 0..iters {
+                this.sample_realization(rng);
+                let mut found = false;
+                this.machine.run_local(query, &mut |_| {
+                    found = true;
+                    false
+                })?;
+                if found {
+                    hits += 1;
+                }
+            }
+            Ok(hits)
+        })?;
+        let p = hits as f64 / iters as f64;
+        Ok(Estimate {
+            value: p,
+            std_error: (p * (1.0 - p) / iters as f64).sqrt(),
+            iterations: iters,
+        })
+    }
+
+    /// Whether the goal should prefer smaller values.
+    pub fn goal_prefers_smaller(goal: &Goal) -> bool {
+        goal.kind == GoalKind::Minimize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_clauses, parse_query};
+    use deco_prob::rng::seeded;
+
+    fn clause(src: &str) -> Clause {
+        parse_clauses(src).unwrap().pop().unwrap()
+    }
+
+    #[test]
+    fn success_probability_of_independent_fact() {
+        let mut p = ProbProgram::new();
+        p.push_independent(0.3, clause("rain."));
+        let mut e = Evaluator::new(p);
+        let mut rng = seeded(1);
+        let est = e
+            .success_probability(&parse_query("rain").unwrap(), 20_000, &mut rng)
+            .unwrap();
+        assert!((est.value - 0.3).abs() < 0.02, "got {}", est.value);
+    }
+
+    #[test]
+    fn independent_facts_combine_like_problog() {
+        // P(wet) = 1 - (1-0.3)(1-0.5) = 0.65 when two independent causes.
+        let mut p = ProbProgram::new();
+        p.push_independent(0.3, clause("rain."));
+        p.push_independent(0.5, clause("sprinkler."));
+        p.push_certain(clause("wet :- rain."));
+        p.push_certain(clause("wet :- sprinkler."));
+        let mut e = Evaluator::new(p);
+        let mut rng = seeded(2);
+        let est = e
+            .success_probability(&parse_query("wet").unwrap(), 30_000, &mut rng)
+            .unwrap();
+        assert!((est.value - 0.65).abs() < 0.02, "got {}", est.value);
+    }
+
+    #[test]
+    fn groups_are_mutually_exclusive() {
+        let mut p = ProbProgram::new();
+        p.push_group(vec![
+            (0.5, parse_query("speed(10)").unwrap()),
+            (0.5, parse_query("speed(20)").unwrap()),
+        ]);
+        let mut e = Evaluator::new(p);
+        let mut rng = seeded(3);
+        // Exactly one speed per realization.
+        for _ in 0..100 {
+            e.sample_realization(&mut rng);
+            let sols = e
+                .machine
+                .solve_all(&parse_query("speed(X)").unwrap())
+                .unwrap();
+            assert_eq!(sols.len(), 1);
+        }
+    }
+
+    #[test]
+    fn goal_mean_over_group() {
+        // exetime is 10 w.p. 0.25 and 20 w.p. 0.75 -> mean cost 17.5 * price 2 = 35.
+        let mut p = ProbProgram::new();
+        p.push_group(vec![
+            (0.25, parse_query("exetime(t0, 10)").unwrap()),
+            (0.75, parse_query("exetime(t0, 20)").unwrap()),
+        ]);
+        p.push_certain(clause("cost(C) :- exetime(t0, T), C is T*2."));
+        let goal = Goal {
+            kind: GoalKind::Minimize,
+            var: "C".into(),
+            query: parse_query("cost(C)").unwrap(),
+        };
+        let mut e = Evaluator::new(p);
+        let mut rng = seeded(4);
+        let est = e.goal_value(&goal, 20_000, &mut rng).unwrap();
+        assert!((est.value - 35.0).abs() < 0.5, "got {}", est.value);
+    }
+
+    #[test]
+    fn deadline_constraint_uses_percentile_semantics() {
+        // X = 8 w.p. 0.9, X = 12 w.p. 0.1. P(X <= 10) = 0.9.
+        let mut p = ProbProgram::new();
+        p.push_group(vec![
+            (0.9, parse_query("time(8)").unwrap()),
+            (0.1, parse_query("time(12)").unwrap()),
+        ]);
+        let mut e = Evaluator::new(p);
+        let mut rng = seeded(5);
+        let cons = |pct: f64| Constraint {
+            var: "T".into(),
+            query: parse_query("time(T)").unwrap(),
+            kind: ConstraintKind::Deadline {
+                percentile: pct,
+                bound: 10.0,
+            },
+        };
+        let (ok_85, est) = e.constraint(&cons(0.85), 20_000, &mut rng).unwrap();
+        assert!(ok_85, "P(X<=10) ~ 0.9 satisfies an 85% requirement");
+        assert!((est.value - 0.9).abs() < 0.02);
+        let (ok_95, _) = e.constraint(&cons(0.95), 20_000, &mut rng).unwrap();
+        assert!(!ok_95, "a 95% requirement must fail");
+    }
+
+    #[test]
+    fn deterministic_constraints_use_the_mean() {
+        let mut p = ProbProgram::new();
+        p.push_certain(clause("v(7)."));
+        let mut e = Evaluator::new(p);
+        let mut rng = seeded(6);
+        let atmost = Constraint {
+            var: "X".into(),
+            query: parse_query("v(X)").unwrap(),
+            kind: ConstraintKind::AtMost { bound: 7.0 },
+        };
+        assert!(e.constraint(&atmost, 10, &mut rng).unwrap().0);
+        let atleast = Constraint {
+            var: "X".into(),
+            query: parse_query("v(X)").unwrap(),
+            kind: ConstraintKind::AtLeast { bound: 7.5 },
+        };
+        assert!(!e.constraint(&atleast, 10, &mut rng).unwrap().0);
+    }
+
+    #[test]
+    fn state_facts_swap_between_states() {
+        let mut p = ProbProgram::new();
+        p.push_certain(clause("cost(C) :- cfg(V), price(V, P), C is P."));
+        p.push_certain(clause("price(v0, 10)."));
+        p.push_certain(clause("price(v1, 99)."));
+        let goal = Goal {
+            kind: GoalKind::Minimize,
+            var: "C".into(),
+            query: parse_query("cost(C)").unwrap(),
+        };
+        let mut e = Evaluator::new(p);
+        let mut rng = seeded(7);
+        e.set_state_facts("cfg", 1, vec![parse_query("cfg(v0)").unwrap()]);
+        assert_eq!(e.goal_value(&goal, 5, &mut rng).unwrap().value, 10.0);
+        e.set_state_facts("cfg", 1, vec![parse_query("cfg(v1)").unwrap()]);
+        assert_eq!(e.goal_value(&goal, 5, &mut rng).unwrap().value, 99.0);
+    }
+
+    #[test]
+    fn failing_goal_query_is_an_error() {
+        let p = ProbProgram::new();
+        let goal = Goal {
+            kind: GoalKind::Minimize,
+            var: "C".into(),
+            query: parse_query("nosuch(C)").unwrap(),
+        };
+        let mut e = Evaluator::new(p);
+        let mut rng = seeded(8);
+        assert!(e.goal_value(&goal, 3, &mut rng).is_err());
+    }
+
+    #[test]
+    fn group_weights_are_normalized() {
+        let mut p = ProbProgram::new();
+        p.push_group(vec![
+            (2.0, parse_query("x(1)").unwrap()),
+            (6.0, parse_query("x(2)").unwrap()),
+        ]);
+        let mut e = Evaluator::new(p);
+        let mut rng = seeded(9);
+        let est = e
+            .success_probability(&parse_query("x(2)").unwrap(), 10_000, &mut rng)
+            .unwrap();
+        assert!((est.value - 0.75).abs() < 0.02);
+    }
+
+    #[test]
+    fn rule_count_counts_everything() {
+        let mut p = ProbProgram::new();
+        p.push_certain(clause("a."));
+        p.push_independent(0.5, clause("b."));
+        p.push_group(vec![
+            (0.5, parse_query("c(1)").unwrap()),
+            (0.5, parse_query("c(2)").unwrap()),
+        ]);
+        assert_eq!(p.rule_count(), 4);
+    }
+}

@@ -1,0 +1,200 @@
+//! The top-level WLog program: sections, imports, and evaluation.
+//!
+//! A program carries (Example 1):
+//! * `import(...)` statements naming a cloud and a workflow whose facts the
+//!   engine injects,
+//! * one optimization **goal** (`minimize Ct in totalcost(Ct)`),
+//! * **constraints** with probabilistic (`deadline`, `budget`) or
+//!   deterministic (`atmost`, `atleast`) semantics,
+//! * **var** declarations naming the optimization variables and their
+//!   ranges (`configs(Tid,Vid,Con) forall task(Tid) and vm(Vid)`),
+//! * derivation rules (plain ProLog clauses), and
+//! * optionally `enabled(astar)` with `cal_g_score` / `est_h_score`
+//!   heuristic predicates.
+
+use crate::ast::{Clause, Term};
+use crate::machine::MachineError;
+use crate::parser::{parse_program, ParseError};
+
+/// Direction of the optimization goal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GoalKind {
+    Minimize,
+    Maximize,
+}
+
+/// `minimize V in query.`
+#[derive(Debug, Clone, PartialEq)]
+pub struct Goal {
+    pub kind: GoalKind,
+    /// The variable inside `query` whose binding is the goal value.
+    pub var: String,
+    pub query: Term,
+}
+
+/// Constraint semantics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConstraintKind {
+    /// `deadline(p, d)`: the p-th percentile of the value's distribution
+    /// must be ≤ d, i.e. `P(X <= d) >= p`.
+    Deadline { percentile: f64, bound: f64 },
+    /// `budget(p, b)`: `P(X <= b) >= p` on a cost-valued query.
+    Budget { percentile: f64, bound: f64 },
+    /// Deterministic `X <= bound` (on the expected value).
+    AtMost { bound: f64 },
+    /// Deterministic `X >= bound`.
+    AtLeast { bound: f64 },
+}
+
+/// `V in query satisfies kind.`
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    pub var: String,
+    pub query: Term,
+    pub kind: ConstraintKind,
+}
+
+/// `template forall range1 and range2 ...`
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDecl {
+    pub template: Term,
+    pub ranges: Vec<Term>,
+}
+
+/// Errors from loading or evaluating WLog programs.
+#[derive(Debug)]
+pub enum WlogError {
+    Parse(ParseError),
+    Runtime(MachineError),
+    /// Structural problems: missing goal, unknown import, ...
+    Program(String),
+}
+
+impl std::fmt::Display for WlogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WlogError::Parse(e) => write!(f, "{e}"),
+            WlogError::Runtime(e) => write!(f, "{e}"),
+            WlogError::Program(m) => write!(f, "program error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WlogError {}
+
+impl From<ParseError> for WlogError {
+    fn from(e: ParseError) -> Self {
+        WlogError::Parse(e)
+    }
+}
+
+impl From<MachineError> for WlogError {
+    fn from(e: MachineError) -> Self {
+        WlogError::Runtime(e)
+    }
+}
+
+/// A parsed WLog program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WlogProgram {
+    pub imports: Vec<String>,
+    pub goal: Option<Goal>,
+    pub constraints: Vec<Constraint>,
+    pub vars: Vec<VarDecl>,
+    pub astar: bool,
+    pub clauses: Vec<Clause>,
+}
+
+impl WlogProgram {
+    /// Parse program text.
+    pub fn parse(src: &str) -> Result<WlogProgram, WlogError> {
+        Ok(parse_program(src)?)
+    }
+
+    /// Structural validation: an optimization program needs a goal and at
+    /// least one var declaration.
+    pub fn validate(&self) -> Result<(), WlogError> {
+        if self.goal.is_none() {
+            return Err(WlogError::Program("no optimization goal declared".into()));
+        }
+        if self.vars.is_empty() {
+            return Err(WlogError::Program(
+                "no optimization variables declared (missing 'forall')".into(),
+            ));
+        }
+        if self.astar && !(self.defines("cal_g_score", 1) && self.defines("est_h_score", 1)) {
+            return Err(WlogError::Program(
+                "enabled(astar) requires cal_g_score/1 and est_h_score/1".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Whether the program defines a predicate.
+    pub fn defines(&self, name: &str, arity: usize) -> bool {
+        self.clauses
+            .iter()
+            .any(|c| c.head.functor() == Some((name, arity)))
+    }
+
+    /// Names of the variable-template functor(s) — the solver retracts and
+    /// re-asserts these between states (e.g. `configs/3`).
+    pub fn var_functors(&self) -> Vec<(String, usize)> {
+        self.vars
+            .iter()
+            .filter_map(|v| v.template.functor().map(|(f, n)| (f.to_string(), n)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINI: &str = "
+minimize C in total(C).
+cfg(T, V) forall task(T) and vm(V).
+total(C) :- findall(X, cost(X), L), sum(L, C).
+";
+
+    #[test]
+    fn parse_and_validate_minimal_program() {
+        let p = WlogProgram::parse(MINI).unwrap();
+        p.validate().unwrap();
+        assert_eq!(p.var_functors(), vec![("cfg".to_string(), 2)]);
+        assert!(p.defines("total", 1));
+        assert!(!p.defines("total", 2));
+    }
+
+    #[test]
+    fn missing_goal_is_rejected() {
+        let p = WlogProgram::parse("cfg(T) forall task(T).").unwrap();
+        assert!(matches!(p.validate(), Err(WlogError::Program(_))));
+    }
+
+    #[test]
+    fn missing_vars_is_rejected() {
+        let p = WlogProgram::parse("minimize C in total(C).").unwrap();
+        assert!(matches!(p.validate(), Err(WlogError::Program(_))));
+    }
+
+    #[test]
+    fn astar_without_heuristics_is_rejected() {
+        let p = WlogProgram::parse(
+            "minimize C in t(C). cfg(T) forall task(T). enabled(astar).",
+        )
+        .unwrap();
+        assert!(matches!(p.validate(), Err(WlogError::Program(_))));
+    }
+
+    #[test]
+    fn astar_with_heuristics_validates() {
+        let p = WlogProgram::parse(
+            "minimize C in t(C). cfg(T) forall task(T). enabled(astar).
+             cal_g_score(C) :- t(C). est_h_score(C) :- t(C).",
+        )
+        .unwrap();
+        p.validate().unwrap();
+        assert!(p.astar);
+    }
+}

@@ -1,0 +1,294 @@
+//! Substitutions and unification.
+//!
+//! The interpreter uses a single mutable binding store with a trail, the
+//! standard WAM-style discipline: binding a variable pushes its name onto
+//! the trail, and backtracking unwinds the trail to a saved mark. This
+//! keeps unification allocation-free on the happy path, which matters
+//! because every Monte-Carlo iteration replays thousands of unifications.
+
+use crate::ast::Term;
+use std::collections::HashMap;
+
+/// A mutable binding store with an undo trail.
+#[derive(Debug, Default, Clone)]
+pub struct Bindings {
+    map: HashMap<String, Term>,
+    trail: Vec<String>,
+}
+
+/// A mark into the trail; undoing to a mark removes every binding made
+/// after it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mark(usize);
+
+impl Bindings {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current trail position.
+    pub fn mark(&self) -> Mark {
+        Mark(self.trail.len())
+    }
+
+    /// Unwind every binding made since `mark`.
+    pub fn undo(&mut self, mark: Mark) {
+        while self.trail.len() > mark.0 {
+            let v = self.trail.pop().unwrap();
+            self.map.remove(&v);
+        }
+    }
+
+    /// Bind a variable (must be unbound).
+    pub fn bind(&mut self, var: &str, t: Term) {
+        debug_assert!(!self.map.contains_key(var), "rebinding {var}");
+        self.map.insert(var.to_string(), t);
+        self.trail.push(var.to_string());
+    }
+
+    /// Follow variable chains one step at a time until a non-variable or an
+    /// unbound variable is reached. Cheap: does not rebuild compound terms.
+    pub fn walk<'a>(&'a self, t: &'a Term) -> &'a Term {
+        let mut cur = t;
+        loop {
+            match cur {
+                Term::Var(v) => match self.map.get(v) {
+                    Some(next) => cur = next,
+                    None => return cur,
+                },
+                _ => return cur,
+            }
+        }
+    }
+
+    /// Deep-resolve: rebuild the term with every bound variable replaced.
+    pub fn resolve(&self, t: &Term) -> Term {
+        let t = self.walk(t);
+        match t {
+            Term::Compound(f, args) => {
+                Term::Compound(f.clone(), args.iter().map(|a| self.resolve(a)).collect())
+            }
+            Term::List(items, tail) => {
+                let mut out: Vec<Term> = items.iter().map(|a| self.resolve(a)).collect();
+                match tail {
+                    None => Term::List(out, None),
+                    Some(t) => match self.resolve(t) {
+                        // Flatten a resolved tail list into the spine.
+                        Term::List(mut more, tail2) => {
+                            out.append(&mut more);
+                            Term::List(out, tail2)
+                        }
+                        other => Term::List(out, Some(Box::new(other))),
+                    },
+                }
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// Unify two terms, recording bindings on the trail. On failure the
+    /// caller must `undo` to its mark (partial bindings may remain).
+    pub fn unify(&mut self, a: &Term, b: &Term) -> bool {
+        let a = self.walk(a).clone();
+        let b = self.walk(b).clone();
+        match (&a, &b) {
+            (Term::Var(v), Term::Var(w)) if v == w => true,
+            (Term::Var(v), _) => {
+                self.bind(v, b);
+                true
+            }
+            (_, Term::Var(w)) => {
+                self.bind(w, a);
+                true
+            }
+            (Term::Atom(x), Term::Atom(y)) => x == y,
+            (Term::Num(x), Term::Num(y)) => x == y,
+            (Term::Compound(f, xs), Term::Compound(g, ys)) => {
+                f == g && xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| self.unify(x, y))
+            }
+            (Term::List(..), Term::List(..)) => self.unify_lists(&a, &b),
+            _ => false,
+        }
+    }
+
+    /// List unification handling partial lists (`[H|T]` against `[1,2,3]`).
+    fn unify_lists(&mut self, a: &Term, b: &Term) -> bool {
+        let (xs, xt) = match a {
+            Term::List(xs, xt) => (xs.clone(), xt.clone()),
+            _ => unreachable!(),
+        };
+        let (ys, yt) = match b {
+            Term::List(ys, yt) => (ys.clone(), yt.clone()),
+            _ => unreachable!(),
+        };
+        let n = xs.len().min(ys.len());
+        for i in 0..n {
+            if !self.unify(&xs[i], &ys[i]) {
+                return false;
+            }
+        }
+        // Remainders.
+        let rest_a = Term::List(xs[n..].to_vec(), xt);
+        let rest_b = Term::List(ys[n..].to_vec(), yt);
+        match (&rest_a, &rest_b) {
+            (Term::List(e1, None), Term::List(e2, None)) if e1.is_empty() && e2.is_empty() => true,
+            (Term::List(e1, Some(t1)), _) if e1.is_empty() => self.unify(t1, &rest_b),
+            (_, Term::List(e2, Some(t2))) if e2.is_empty() => self.unify(&rest_a, t2),
+            _ => false,
+        }
+    }
+}
+
+/// Total order on ground terms, for `setof` sorting and `max`/`min`:
+/// numbers < atoms < compounds < lists; ties by value/name/args.
+pub fn term_cmp(a: &Term, b: &Term) -> std::cmp::Ordering {
+    use std::cmp::Ordering::*;
+    fn rank(t: &Term) -> u8 {
+        match t {
+            Term::Var(_) => 0,
+            Term::Num(_) => 1,
+            Term::Atom(_) => 2,
+            Term::Compound(..) => 3,
+            Term::List(..) => 4,
+        }
+    }
+    match (a, b) {
+        (Term::Num(x), Term::Num(y)) => x.partial_cmp(y).unwrap_or(Equal),
+        (Term::Atom(x), Term::Atom(y)) => x.cmp(y),
+        (Term::Var(x), Term::Var(y)) => x.cmp(y),
+        (Term::Compound(f, xs), Term::Compound(g, ys)) => f
+            .cmp(g)
+            .then(xs.len().cmp(&ys.len()))
+            .then_with(|| {
+                for (x, y) in xs.iter().zip(ys) {
+                    let c = term_cmp(x, y);
+                    if c != Equal {
+                        return c;
+                    }
+                }
+                Equal
+            }),
+        (Term::List(xs, _), Term::List(ys, _)) => {
+            for (x, y) in xs.iter().zip(ys) {
+                let c = term_cmp(x, y);
+                if c != Equal {
+                    return c;
+                }
+            }
+            xs.len().cmp(&ys.len())
+        }
+        _ => rank(a).cmp(&rank(b)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Term;
+
+    #[test]
+    fn bind_and_walk() {
+        let mut b = Bindings::new();
+        assert!(b.unify(&Term::var("X"), &Term::num(3.0)));
+        assert_eq!(b.walk(&Term::var("X")), &Term::num(3.0));
+    }
+
+    #[test]
+    fn chains_resolve() {
+        let mut b = Bindings::new();
+        assert!(b.unify(&Term::var("X"), &Term::var("Y")));
+        assert!(b.unify(&Term::var("Y"), &Term::atom("a")));
+        assert_eq!(b.walk(&Term::var("X")), &Term::atom("a"));
+    }
+
+    #[test]
+    fn undo_restores_state() {
+        let mut b = Bindings::new();
+        let m = b.mark();
+        assert!(b.unify(&Term::var("X"), &Term::num(1.0)));
+        b.undo(m);
+        assert!(matches!(b.walk(&Term::var("X")), Term::Var(_)));
+        // Can rebind after undo.
+        assert!(b.unify(&Term::var("X"), &Term::num(2.0)));
+    }
+
+    #[test]
+    fn compound_unification() {
+        let mut b = Bindings::new();
+        let t1 = Term::compound("f", vec![Term::var("X"), Term::num(2.0)]);
+        let t2 = Term::compound("f", vec![Term::num(1.0), Term::var("Y")]);
+        assert!(b.unify(&t1, &t2));
+        assert_eq!(b.walk(&Term::var("X")), &Term::num(1.0));
+        assert_eq!(b.walk(&Term::var("Y")), &Term::num(2.0));
+    }
+
+    #[test]
+    fn mismatched_functors_fail() {
+        let mut b = Bindings::new();
+        assert!(!b.unify(
+            &Term::compound("f", vec![Term::num(1.0)]),
+            &Term::compound("g", vec![Term::num(1.0)])
+        ));
+        assert!(!b.unify(
+            &Term::compound("f", vec![]),
+            &Term::compound("f", vec![Term::num(1.0)])
+        ));
+    }
+
+    #[test]
+    fn partial_list_unification() {
+        let mut b = Bindings::new();
+        let pat = Term::List(
+            vec![Term::var("H")],
+            Some(Box::new(Term::var("T"))),
+        );
+        let lst = Term::list(vec![Term::num(1.0), Term::num(2.0), Term::num(3.0)]);
+        assert!(b.unify(&pat, &lst));
+        assert_eq!(b.resolve(&Term::var("H")), Term::num(1.0));
+        assert_eq!(
+            b.resolve(&Term::var("T")),
+            Term::list(vec![Term::num(2.0), Term::num(3.0)])
+        );
+    }
+
+    #[test]
+    fn empty_list_only_unifies_empty() {
+        let mut b = Bindings::new();
+        assert!(b.unify(&Term::nil(), &Term::nil()));
+        assert!(!b.unify(&Term::nil(), &Term::list(vec![Term::num(1.0)])));
+    }
+
+    #[test]
+    fn resolve_flattens_list_tails() {
+        let mut b = Bindings::new();
+        assert!(b.unify(&Term::var("T"), &Term::list(vec![Term::num(2.0)])));
+        let t = Term::List(vec![Term::num(1.0)], Some(Box::new(Term::var("T"))));
+        assert_eq!(
+            b.resolve(&t),
+            Term::list(vec![Term::num(1.0), Term::num(2.0)])
+        );
+    }
+
+    #[test]
+    fn term_ordering() {
+        use std::cmp::Ordering::*;
+        assert_eq!(term_cmp(&Term::num(1.0), &Term::num(2.0)), Less);
+        assert_eq!(term_cmp(&Term::num(9.0), &Term::atom("a")), Less);
+        assert_eq!(term_cmp(&Term::atom("a"), &Term::atom("b")), Less);
+        assert_eq!(
+            term_cmp(
+                &Term::list(vec![Term::num(1.0)]),
+                &Term::list(vec![Term::num(1.0), Term::num(0.0)])
+            ),
+            Less
+        );
+    }
+
+    #[test]
+    fn same_var_unifies_without_binding() {
+        let mut b = Bindings::new();
+        let m = b.mark();
+        assert!(b.unify(&Term::var("X"), &Term::var("X")));
+        assert_eq!(b.mark(), m, "no binding should be recorded");
+    }
+}

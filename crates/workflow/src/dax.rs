@@ -1,0 +1,575 @@
+//! The DAX workflow-exchange format (parse and emit).
+//!
+//! Pegasus users submit workflows as DAX files: XML documents whose `<job>`
+//! elements describe tasks (executable, runtime, input/output files with
+//! sizes) and whose `<child><parent/></child>` elements describe
+//! dependencies (Figure 4 of the paper). We implement the subset that
+//! Pegasus' planner actually consumes, with a small hand-written XML reader
+//! so the offline dependency set stays closed.
+//!
+//! Mapping to [`Workflow`]:
+//! * `runtime` attribute → `TaskProfile::cpu_seconds` (reference-core
+//!   seconds).
+//! * `<uses link="input" size=…>` sum → `read_bytes`; `link="output"` sum →
+//!   `write_bytes`.
+//! * An edge's `bytes` is the total size of files written by the parent and
+//!   read by the child.
+
+use crate::dag::{Workflow, WorkflowError};
+use crate::task::{TaskId, TaskProfile};
+use std::collections::HashMap;
+
+/// Errors from DAX parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DaxError {
+    /// Malformed XML at byte offset.
+    Xml(usize, String),
+    /// Structural error (missing attribute, unknown reference, …).
+    Semantic(String),
+    /// The underlying graph edge was invalid.
+    Graph(String),
+}
+
+impl std::fmt::Display for DaxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DaxError::Xml(pos, msg) => write!(f, "XML error at byte {pos}: {msg}"),
+            DaxError::Semantic(msg) => write!(f, "DAX error: {msg}"),
+            DaxError::Graph(msg) => write!(f, "graph error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DaxError {}
+
+impl From<WorkflowError> for DaxError {
+    fn from(e: WorkflowError) -> Self {
+        DaxError::Graph(e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal XML reader: elements, attributes, self-closing tags, comments,
+// declarations. Text content is skipped (DAX carries data in attributes).
+// ---------------------------------------------------------------------------
+
+/// A parsed XML element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Elem {
+    pub name: String,
+    pub attrs: Vec<(String, String)>,
+    pub children: Vec<Elem>,
+}
+
+impl Elem {
+    /// Attribute lookup.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Children with a given element name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Elem> {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+}
+
+struct XmlReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> XmlReader<'a> {
+    fn new(s: &'a str) -> Self {
+        Self {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> DaxError {
+        DaxError::Xml(self.pos, msg.into())
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_until(&mut self, s: &str) -> Result<(), DaxError> {
+        while self.pos < self.bytes.len() {
+            if self.starts_with(s) {
+                self.pos += s.len();
+                return Ok(());
+            }
+            self.pos += 1;
+        }
+        Err(self.err(format!("unterminated construct, expected {s:?}")))
+    }
+
+    /// Skip text, comments, PIs until the next `<` that starts a tag.
+    fn skip_misc(&mut self) -> Result<(), DaxError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.pos += 4;
+                self.skip_until("-->")?;
+            } else if self.starts_with("<?") {
+                self.pos += 2;
+                self.skip_until("?>")?;
+            } else if self.pos < self.bytes.len() && self.bytes[self.pos] != b'<' {
+                // Text content: skip to next tag.
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'<' {
+                    self.pos += 1;
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn read_name(&mut self) -> Result<String, DaxError> {
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b':' || b == b'.' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn read_attrs(&mut self) -> Result<Vec<(String, String)>, DaxError> {
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.pos >= self.bytes.len() {
+                return Err(self.err("unterminated tag"));
+            }
+            let b = self.bytes[self.pos];
+            if b == b'>' || b == b'/' || b == b'?' {
+                return Ok(attrs);
+            }
+            let key = self.read_name()?;
+            self.skip_ws();
+            if !self.starts_with("=") {
+                return Err(self.err(format!("attribute {key} missing '='")));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let quote = self.bytes.get(self.pos).copied();
+            if quote != Some(b'"') && quote != Some(b'\'') {
+                return Err(self.err("attribute value must be quoted"));
+            }
+            self.pos += 1;
+            let start = self.pos;
+            while self.pos < self.bytes.len() && self.bytes[self.pos] != quote.unwrap() {
+                self.pos += 1;
+            }
+            if self.pos >= self.bytes.len() {
+                return Err(self.err("unterminated attribute value"));
+            }
+            let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+            self.pos += 1;
+            attrs.push((key, unescape(&raw)));
+        }
+    }
+
+    /// Parse one element starting at `<name ...`.
+    fn read_element(&mut self) -> Result<Elem, DaxError> {
+        if !self.starts_with("<") {
+            return Err(self.err("expected '<'"));
+        }
+        self.pos += 1;
+        let name = self.read_name()?;
+        let attrs = self.read_attrs()?;
+        self.skip_ws();
+        if self.starts_with("/>") {
+            self.pos += 2;
+            return Ok(Elem {
+                name,
+                attrs,
+                children: Vec::new(),
+            });
+        }
+        if !self.starts_with(">") {
+            return Err(self.err("malformed tag end"));
+        }
+        self.pos += 1;
+        let mut children = Vec::new();
+        loop {
+            self.skip_misc()?;
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.read_name()?;
+                if close != name {
+                    return Err(self.err(format!("mismatched close tag </{close}> for <{name}>")));
+                }
+                self.skip_ws();
+                if !self.starts_with(">") {
+                    return Err(self.err("malformed close tag"));
+                }
+                self.pos += 1;
+                return Ok(Elem {
+                    name,
+                    attrs,
+                    children,
+                });
+            }
+            if self.pos >= self.bytes.len() {
+                return Err(self.err(format!("unexpected end of input inside <{name}>")));
+            }
+            children.push(self.read_element()?);
+        }
+    }
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+/// Parse a complete XML document into its root element.
+pub fn parse_xml(doc: &str) -> Result<Elem, DaxError> {
+    let mut r = XmlReader::new(doc);
+    r.skip_misc()?;
+    let root = r.read_element()?;
+    r.skip_misc()?;
+    if r.pos < r.bytes.len() {
+        return Err(r.err("trailing content after document element"));
+    }
+    Ok(root)
+}
+
+// ---------------------------------------------------------------------------
+// DAX <-> Workflow
+// ---------------------------------------------------------------------------
+
+/// Parse a DAX document into a [`Workflow`].
+pub fn parse_dax(doc: &str) -> Result<Workflow, DaxError> {
+    let root = parse_xml(doc)?;
+    if root.name != "adag" {
+        return Err(DaxError::Semantic(format!(
+            "root element must be <adag>, found <{}>",
+            root.name
+        )));
+    }
+    let wf_name = root.attr("name").unwrap_or("workflow").to_string();
+    let mut workflow = Workflow::new(wf_name);
+
+    // First pass: jobs and their file tables.
+    let mut by_dax_id: HashMap<String, TaskId> = HashMap::new();
+    // producer file name -> (task, size)
+    let mut outputs: HashMap<String, (TaskId, f64)> = HashMap::new();
+    // (task, file) inputs for edge-byte accounting
+    let mut inputs: Vec<(TaskId, String)> = Vec::new();
+
+    for job in root.children_named("job") {
+        let dax_id = job
+            .attr("id")
+            .ok_or_else(|| DaxError::Semantic("<job> missing id".into()))?
+            .to_string();
+        let exe = job.attr("name").unwrap_or("unknown").to_string();
+        let runtime: f64 = job
+            .attr("runtime")
+            .unwrap_or("0")
+            .parse()
+            .map_err(|_| DaxError::Semantic(format!("job {dax_id}: bad runtime")))?;
+        let mut read = 0.0;
+        let mut write = 0.0;
+        let mut files = Vec::new();
+        for uses in job.children_named("uses") {
+            let file = uses
+                .attr("file")
+                .ok_or_else(|| DaxError::Semantic(format!("job {dax_id}: <uses> missing file")))?
+                .to_string();
+            let size: f64 = uses
+                .attr("size")
+                .unwrap_or("0")
+                .parse()
+                .map_err(|_| DaxError::Semantic(format!("job {dax_id}: bad size on {file}")))?;
+            let link = uses.attr("link").unwrap_or("input");
+            files.push((file, size, link.to_string()));
+            match link {
+                "input" => read += size,
+                "output" => write += size,
+                other => {
+                    return Err(DaxError::Semantic(format!(
+                        "job {dax_id}: unknown link kind {other:?}"
+                    )))
+                }
+            }
+        }
+        let tid = workflow.add_task(dax_id.clone(), exe, TaskProfile::new(runtime, read, write));
+        if by_dax_id.insert(dax_id.clone(), tid).is_some() {
+            return Err(DaxError::Semantic(format!("duplicate job id {dax_id}")));
+        }
+        for (file, size, link) in files {
+            if link == "output" {
+                outputs.insert(file, (tid, size));
+            } else {
+                inputs.push((tid, file));
+            }
+        }
+    }
+
+    // Dependencies: explicit <child><parent/></child>, with bytes resolved
+    // from the shared files.
+    for child_el in root.children_named("child") {
+        let child_ref = child_el
+            .attr("ref")
+            .ok_or_else(|| DaxError::Semantic("<child> missing ref".into()))?;
+        let child = *by_dax_id
+            .get(child_ref)
+            .ok_or_else(|| DaxError::Semantic(format!("unknown child ref {child_ref}")))?;
+        for parent_el in child_el.children_named("parent") {
+            let parent_ref = parent_el
+                .attr("ref")
+                .ok_or_else(|| DaxError::Semantic("<parent> missing ref".into()))?;
+            let parent = *by_dax_id
+                .get(parent_ref)
+                .ok_or_else(|| DaxError::Semantic(format!("unknown parent ref {parent_ref}")))?;
+            // Bytes: files produced by parent and consumed by child.
+            let bytes: f64 = inputs
+                .iter()
+                .filter(|(t, _)| *t == child)
+                .filter_map(|(_, f)| outputs.get(f))
+                .filter(|(p, _)| *p == parent)
+                .map(|(_, s)| *s)
+                .sum();
+            workflow.add_edge(parent, child, bytes)?;
+        }
+    }
+    Ok(workflow)
+}
+
+/// Emit a [`Workflow`] as a DAX document.
+///
+/// Edge data is materialized as files. A parent emits **one file per
+/// distinct outgoing byte amount** (`f_<parent>_<group>`), shared by every
+/// child whose edge carries that amount — matching how scientific workflows
+/// actually fan one output file out to several consumers (e.g. a Montage
+/// projection feeding several mDiffFit tasks). Residual I/O in the profile
+/// that is not explained by edges becomes an external input/output file.
+/// `parse_dax(emit_dax(w))` then reconstructs the same graph, profiles and
+/// edge bytes, provided same-size edges from one parent really do share a
+/// file (true for every generator in this crate).
+pub fn emit_dax(w: &Workflow) -> String {
+    // Per parent: distinct outgoing byte values, in first-seen order.
+    let out_groups: Vec<Vec<f64>> = w
+        .task_ids()
+        .map(|t| {
+            let mut groups: Vec<f64> = Vec::new();
+            for c in w.children(t) {
+                let b = w.edge_bytes(t, c).unwrap();
+                if !groups.iter().any(|&g| (g - b).abs() < 0.5) {
+                    groups.push(b);
+                }
+            }
+            groups
+        })
+        .collect();
+    let file_of = |parent: TaskId, bytes: f64| -> String {
+        let g = out_groups[parent.index()]
+            .iter()
+            .position(|&v| (v - bytes).abs() < 0.5)
+            .expect("edge bytes must be in the parent's group table");
+        format!("f_{parent}_g{g}")
+    };
+
+    let mut s = String::new();
+    s.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    s.push_str(&format!(
+        "<adag xmlns=\"http://pegasus.isi.edu/schema/DAX\" name=\"{}\" jobCount=\"{}\">\n",
+        escape(&w.name),
+        w.len()
+    ));
+    for t in w.tasks() {
+        s.push_str(&format!(
+            "  <job id=\"{}\" name=\"{}\" runtime=\"{}\">\n",
+            escape(&t.name),
+            escape(&t.executable),
+            t.profile.cpu_seconds
+        ));
+        let in_edges: f64 = w.parents(t.id).map(|p| w.edge_bytes(p, t.id).unwrap()).sum();
+        let out_files: f64 = out_groups[t.id.index()].iter().sum();
+        let ext_in = (t.profile.read_bytes - in_edges).max(0.0);
+        let ext_out = (t.profile.write_bytes - out_files).max(0.0);
+        if ext_in > 0.0 {
+            s.push_str(&format!(
+                "    <uses file=\"ext_in_{}\" link=\"input\" size=\"{}\"/>\n",
+                t.id, ext_in
+            ));
+        }
+        for p in w.parents(t.id) {
+            let bytes = w.edge_bytes(p, t.id).unwrap();
+            s.push_str(&format!(
+                "    <uses file=\"{}\" link=\"input\" size=\"{}\"/>\n",
+                file_of(p, bytes),
+                bytes
+            ));
+        }
+        for (g, &bytes) in out_groups[t.id.index()].iter().enumerate() {
+            s.push_str(&format!(
+                "    <uses file=\"f_{}_g{}\" link=\"output\" size=\"{}\"/>\n",
+                t.id, g, bytes
+            ));
+        }
+        if ext_out > 0.0 {
+            s.push_str(&format!(
+                "    <uses file=\"ext_out_{}\" link=\"output\" size=\"{}\"/>\n",
+                t.id, ext_out
+            ));
+        }
+        s.push_str("  </job>\n");
+    }
+    for t in w.tasks() {
+        let parents: Vec<_> = w.parents(t.id).collect();
+        if parents.is_empty() {
+            continue;
+        }
+        s.push_str(&format!("  <child ref=\"{}\">\n", escape(&t.name)));
+        for p in parents {
+            s.push_str(&format!(
+                "    <parent ref=\"{}\"/>\n",
+                escape(&w.task(p).name)
+            ));
+        }
+        s.push_str("  </child>\n");
+    }
+    s.push_str("</adag>\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    const PIPELINE_DAX: &str = r#"<?xml version="1.0" encoding="UTF-8"?>
+<!-- the Figure 4 pipeline -->
+<adag xmlns="http://pegasus.isi.edu/schema/DAX" name="pipeline" jobCount="2">
+  <job id="ID01" name="process1" runtime="5">
+    <uses file="f.a" link="input" size="1000"/>
+    <uses file="f.b1" link="output" size="2000"/>
+  </job>
+  <job id="ID02" name="process2" runtime="7">
+    <uses file="f.b1" link="input" size="2000"/>
+    <uses file="f.c" link="output" size="500"/>
+  </job>
+  <child ref="ID02">
+    <parent ref="ID01"/>
+  </child>
+</adag>
+"#;
+
+    #[test]
+    fn parses_figure4_pipeline() {
+        let w = parse_dax(PIPELINE_DAX).unwrap();
+        assert_eq!(w.name, "pipeline");
+        assert_eq!(w.len(), 2);
+        let t0 = w.task(crate::task::TaskId(0));
+        assert_eq!(t0.name, "ID01");
+        assert_eq!(t0.executable, "process1");
+        assert_eq!(t0.profile.cpu_seconds, 5.0);
+        assert_eq!(t0.profile.read_bytes, 1000.0);
+        assert_eq!(t0.profile.write_bytes, 2000.0);
+        // ID02 is the child of ID01 via f.b1 (2000 bytes).
+        let e = w.edge_bytes(crate::task::TaskId(0), crate::task::TaskId(1));
+        assert_eq!(e, Some(2000.0));
+    }
+
+    #[test]
+    fn rejects_wrong_root() {
+        assert!(matches!(
+            parse_dax("<dag></dag>"),
+            Err(DaxError::Semantic(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_refs() {
+        let doc = r#"<adag name="x"><job id="a" name="p" runtime="1"/><child ref="zzz"><parent ref="a"/></child></adag>"#;
+        assert!(matches!(parse_dax(doc), Err(DaxError::Semantic(_))));
+    }
+
+    #[test]
+    fn rejects_malformed_xml() {
+        assert!(matches!(parse_dax("<adag"), Err(DaxError::Xml(..))));
+        assert!(matches!(
+            parse_dax("<adag></oops>"),
+            Err(DaxError::Xml(..))
+        ));
+    }
+
+    #[test]
+    fn handles_comments_and_self_closing() {
+        let doc = r#"<?xml version="1.0"?><!-- hi --><adag name="w"><job id="a" name="p" runtime="2"/></adag>"#;
+        let w = parse_dax(doc).unwrap();
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn attribute_escaping_round_trips() {
+        let mut w = Workflow::new("has \"quotes\" & <angles>");
+        w.add_task("a", "exe&", crate::task::TaskProfile::new(1.0, 0.0, 0.0));
+        let re = parse_dax(&emit_dax(&w)).unwrap();
+        assert_eq!(re.name, w.name);
+        assert_eq!(re.task(crate::task::TaskId(0)).executable, "exe&");
+    }
+
+    #[test]
+    fn emit_parse_round_trip_montage() {
+        let w = generators::montage(1, 42);
+        let re = parse_dax(&emit_dax(&w)).unwrap();
+        assert_eq!(re.len(), w.len());
+        assert_eq!(re.edges().count(), w.edges().count());
+        for (a, b) in w.tasks().zip(re.tasks()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.executable, b.executable);
+            assert!((a.profile.cpu_seconds - b.profile.cpu_seconds).abs() < 1e-9);
+            assert!(
+                (a.profile.read_bytes - b.profile.read_bytes).abs() < 1.0,
+                "{}: {} vs {}",
+                a.name,
+                a.profile.read_bytes,
+                b.profile.read_bytes
+            );
+            assert!((a.profile.write_bytes - b.profile.write_bytes).abs() < 1.0);
+        }
+        for e in w.edges() {
+            let re_bytes = re.edge_bytes(e.from, e.to).unwrap();
+            assert!((re_bytes - e.bytes).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn emit_parse_round_trip_pipeline_generator() {
+        let w = generators::pipeline(5, 10.0, 1 << 20);
+        let re = parse_dax(&emit_dax(&w)).unwrap();
+        assert_eq!(re.len(), 5);
+        assert_eq!(re.topo_order().len(), 5);
+    }
+}

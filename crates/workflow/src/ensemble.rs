@@ -1,0 +1,261 @@
+//! Workflow ensembles (the paper's second use case, Section 3.2).
+//!
+//! An ensemble is a group of same-application workflows with differing
+//! parameters. Each workflow carries a *priority* (0 = most important) and
+//! its own deadline; the whole ensemble shares one budget. The optimization
+//! goal (Equation (4)) is to maximize `sum over completed workflows of
+//! 2^-Priority(w)`.
+//!
+//! Following Malawski et al. (SC'12), whose experimental setup the paper
+//! reuses, five ensemble types govern how workflow sizes relate to
+//! priorities:
+//!
+//! * **Constant** — all workflows the same size.
+//! * **Uniform sorted / unsorted** — sizes drawn uniformly from the size
+//!   set; *sorted* assigns higher priority to smaller workflows,
+//!   *unsorted* assigns priorities at random.
+//! * **Pareto sorted / unsorted** — sizes drawn from a (discretized) Pareto
+//!   law, i.e. mostly small workflows with a heavy tail of large ones.
+
+use crate::dag::Workflow;
+use crate::generators::App;
+use deco_prob::dist::{Dist, Pareto};
+use deco_prob::rng::{split_indexed, DecoRng};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The five ensemble types of the evaluation (Figure 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EnsembleType {
+    Constant,
+    UniformSorted,
+    UniformUnsorted,
+    ParetoSorted,
+    ParetoUnsorted,
+}
+
+impl EnsembleType {
+    pub const ALL: [EnsembleType; 5] = [
+        EnsembleType::Constant,
+        EnsembleType::UniformSorted,
+        EnsembleType::UniformUnsorted,
+        EnsembleType::ParetoSorted,
+        EnsembleType::ParetoUnsorted,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            EnsembleType::Constant => "Constant",
+            EnsembleType::UniformSorted => "UniformSorted",
+            EnsembleType::UniformUnsorted => "UniformUnsorted",
+            EnsembleType::ParetoSorted => "ParetoSorted",
+            EnsembleType::ParetoUnsorted => "ParetoUnsorted",
+        }
+    }
+
+    fn sorted(self) -> bool {
+        matches!(self, EnsembleType::UniformSorted | EnsembleType::ParetoSorted)
+    }
+}
+
+/// One member of an ensemble.
+#[derive(Debug, Clone)]
+pub struct Member {
+    pub workflow: Workflow,
+    /// 0 is the highest priority; the member's score is `2^-priority`.
+    pub priority: u32,
+}
+
+impl Member {
+    /// Score contribution if this member completes (Equation (4)).
+    pub fn score(&self) -> f64 {
+        2f64.powi(-(self.priority as i32))
+    }
+}
+
+/// A workflow ensemble.
+#[derive(Debug, Clone)]
+pub struct Ensemble {
+    pub app: App,
+    pub etype: EnsembleType,
+    pub members: Vec<Member>,
+}
+
+impl Ensemble {
+    /// Generate an ensemble of `count` workflows of `app` (the paper uses
+    /// 30–50) with sizes drawn per `etype` from `size_choices` (the paper
+    /// uses {20, 100, 1000}).
+    pub fn generate(
+        app: App,
+        etype: EnsembleType,
+        count: usize,
+        size_choices: &[usize],
+        seed: u64,
+    ) -> Ensemble {
+        assert!(count > 0, "empty ensemble");
+        assert!(!size_choices.is_empty());
+        let mut rng: DecoRng = split_indexed(seed, 0x656e736d); // "ensm"
+        let sizes: Vec<usize> = match etype {
+            EnsembleType::Constant => {
+                let mid = size_choices[size_choices.len() / 2];
+                vec![mid; count]
+            }
+            EnsembleType::UniformSorted | EnsembleType::UniformUnsorted => (0..count)
+                .map(|_| size_choices[rng.gen_range(0..size_choices.len())])
+                .collect(),
+            EnsembleType::ParetoSorted | EnsembleType::ParetoUnsorted => {
+                // Pareto(xm=1, alpha=1.1) mapped onto the size set: heavy
+                // tail selects the larger choices rarely.
+                let pareto = Pareto::new(1.0, 1.1);
+                (0..count)
+                    .map(|_| {
+                        let x = pareto.sample(&mut rng);
+                        // x in [1, inf); map log-scale onto the index range.
+                        let idx = (x.log2().floor() as usize).min(size_choices.len() - 1);
+                        size_choices[idx]
+                    })
+                    .collect()
+            }
+        };
+        // Priorities: sorted types give the smallest workflows the highest
+        // priority (they are the cheapest to complete); unsorted assigns a
+        // random permutation.
+        let mut order: Vec<usize> = (0..count).collect();
+        if etype.sorted() {
+            order.sort_by_key(|&i| sizes[i]);
+        } else {
+            order.shuffle(&mut rng);
+        }
+        let mut priority = vec![0u32; count];
+        for (rank, &i) in order.iter().enumerate() {
+            priority[i] = rank as u32;
+        }
+        let members = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &size)| Member {
+                workflow: app.generate(size, deco_prob::rng::splitmix64(seed ^ i as u64)),
+                priority: priority[i],
+            })
+            .collect();
+        Ensemble { app, etype, members }
+    }
+
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Total score if every member completed.
+    pub fn max_score(&self) -> f64 {
+        self.members.iter().map(Member::score).sum()
+    }
+
+    /// Score of a completion subset given as a boolean mask (the solver's
+    /// ensemble state representation).
+    pub fn score_of(&self, completed: &[bool]) -> f64 {
+        assert_eq!(completed.len(), self.members.len());
+        self.members
+            .iter()
+            .zip(completed)
+            .filter(|(_, &c)| c)
+            .map(|(m, _)| m.score())
+            .sum()
+    }
+
+    /// Members ordered by priority (highest first).
+    pub fn by_priority(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.members.len()).collect();
+        idx.sort_by_key(|&i| self.members[i].priority);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIZES: [usize; 3] = [20, 100, 1000];
+
+    #[test]
+    fn constant_ensembles_have_one_size() {
+        let e = Ensemble::generate(App::Ligo, EnsembleType::Constant, 10, &SIZES, 1);
+        let sizes: std::collections::HashSet<usize> =
+            e.members.iter().map(|m| m.workflow.len()).collect();
+        assert_eq!(sizes.len(), 1);
+    }
+
+    #[test]
+    fn uniform_ensembles_mix_sizes() {
+        let e = Ensemble::generate(App::Ligo, EnsembleType::UniformUnsorted, 40, &SIZES, 2);
+        let sizes: std::collections::HashSet<usize> =
+            e.members.iter().map(|m| m.workflow.len()).collect();
+        assert!(sizes.len() >= 2, "40 uniform draws should hit >= 2 sizes");
+    }
+
+    #[test]
+    fn pareto_ensembles_skew_small() {
+        let e = Ensemble::generate(App::Ligo, EnsembleType::ParetoUnsorted, 50, &SIZES, 3);
+        let small = e
+            .members
+            .iter()
+            .filter(|m| m.workflow.len() < 60)
+            .count();
+        assert!(
+            small > 25,
+            "Pareto tail means most workflows are small, got {small}/50"
+        );
+    }
+
+    #[test]
+    fn priorities_are_a_permutation() {
+        for etype in EnsembleType::ALL {
+            let e = Ensemble::generate(App::Montage, etype, 12, &SIZES, 4);
+            let mut ps: Vec<u32> = e.members.iter().map(|m| m.priority).collect();
+            ps.sort_unstable();
+            assert_eq!(ps, (0..12).collect::<Vec<u32>>(), "{:?}", etype);
+        }
+    }
+
+    #[test]
+    fn sorted_gives_small_workflows_high_priority() {
+        let e = Ensemble::generate(App::Ligo, EnsembleType::UniformSorted, 30, &SIZES, 5);
+        let top = e.by_priority()[0];
+        let smallest = e.members.iter().map(|m| m.workflow.len()).min().unwrap();
+        assert_eq!(e.members[top].workflow.len(), smallest);
+    }
+
+    #[test]
+    fn scores_halve_with_priority() {
+        let e = Ensemble::generate(App::Ligo, EnsembleType::Constant, 4, &SIZES, 6);
+        let by_p = e.by_priority();
+        assert_eq!(e.members[by_p[0]].score(), 1.0);
+        assert_eq!(e.members[by_p[1]].score(), 0.5);
+        assert_eq!(e.members[by_p[3]].score(), 0.125);
+        assert!((e.max_score() - 1.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_of_mask() {
+        let e = Ensemble::generate(App::Ligo, EnsembleType::Constant, 3, &SIZES, 7);
+        let all = e.score_of(&[true, true, true]);
+        let none = e.score_of(&[false, false, false]);
+        assert_eq!(none, 0.0);
+        assert!((all - e.max_score()).abs() < 1e-12);
+        let partial = e.score_of(&[true, false, false]);
+        assert!(partial > 0.0 && partial < all);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = Ensemble::generate(App::Ligo, EnsembleType::ParetoSorted, 10, &SIZES, 8);
+        let b = Ensemble::generate(App::Ligo, EnsembleType::ParetoSorted, 10, &SIZES, 8);
+        for (x, y) in a.members.iter().zip(&b.members) {
+            assert_eq!(x.priority, y.priority);
+            assert_eq!(x.workflow.len(), y.workflow.len());
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Tasks and their resource profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a task inside one workflow: a dense index into the
+/// workflow's task table. Small and `Copy` because provisioning-plan states
+/// are indexed by it millions of times during search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Resource profile of one task, the inputs of the paper's task-execution-
+/// time estimation model (Section 5.1, citing Yu et al. and Pietri et al.):
+/// given input size, CPU time and output size, the execution time on an
+/// instance is CPU time / instance speed + I/O time + network time, where
+/// the I/O and network components are probabilistic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskProfile {
+    /// CPU work in reference-core seconds (1 EC2 compute unit).
+    pub cpu_seconds: f64,
+    /// Bytes read from local disk (staged input + intermediate reads).
+    pub read_bytes: f64,
+    /// Bytes written to local disk.
+    pub write_bytes: f64,
+}
+
+impl TaskProfile {
+    pub fn new(cpu_seconds: f64, read_bytes: f64, write_bytes: f64) -> Self {
+        assert!(
+            cpu_seconds >= 0.0 && read_bytes >= 0.0 && write_bytes >= 0.0,
+            "profile components must be non-negative"
+        );
+        Self {
+            cpu_seconds,
+            read_bytes,
+            write_bytes,
+        }
+    }
+
+    /// Total local I/O volume.
+    pub fn io_bytes(&self) -> f64 {
+        self.read_bytes + self.write_bytes
+    }
+
+    /// Scale the whole profile (used to create workflow-size variants, e.g.
+    /// Montage-1 vs Montage-8 per-task data growth).
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor > 0.0);
+        Self {
+            cpu_seconds: self.cpu_seconds * factor,
+            read_bytes: self.read_bytes * factor,
+            write_bytes: self.write_bytes * factor,
+        }
+    }
+}
+
+/// A workflow task: the minimum execution unit (the paper's terminology;
+/// DAX files call these "jobs").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    pub id: TaskId,
+    /// Human-readable name, e.g. "ID01".
+    pub name: String,
+    /// Executable / transformation name, e.g. "mProjectPP".
+    pub executable: String,
+    pub profile: TaskProfile,
+}
+
+impl Task {
+    pub fn new(id: TaskId, name: impl Into<String>, executable: impl Into<String>, profile: TaskProfile) -> Self {
+        Self {
+            id,
+            name: name.into(),
+            executable: executable.into(),
+            profile,
+        }
+    }
+}
+
+pub const MB: f64 = 1024.0 * 1024.0;
+pub const GB: f64 = 1024.0 * MB;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_totals() {
+        let p = TaskProfile::new(10.0, 3.0 * MB, 1.0 * MB);
+        assert_eq!(p.io_bytes(), 4.0 * MB);
+    }
+
+    #[test]
+    fn profile_scaling() {
+        let p = TaskProfile::new(10.0, 2.0, 4.0).scaled(2.5);
+        assert_eq!(p.cpu_seconds, 25.0);
+        assert_eq!(p.read_bytes, 5.0);
+        assert_eq!(p.write_bytes, 10.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn profile_rejects_negative() {
+        TaskProfile::new(-1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn task_id_display() {
+        assert_eq!(TaskId(3).to_string(), "t3");
+        assert_eq!(TaskId(3).index(), 3);
+    }
+}

@@ -1,0 +1,50 @@
+//! Cloud calibration: regenerate Table 2 and the Figure 6/7 evidence.
+//!
+//! ```sh
+//! cargo run --release --example calibration
+//! ```
+//!
+//! Runs the micro-benchmark suite against the simulated EC2 (10,000
+//! samples per component per type, as in the paper), fits the
+//! distributions, and checks the network normality claim.
+
+use deco::cloud::calibration::calibrate;
+use deco::cloud::CloudSpec;
+use deco::prob::fit::normality_test;
+use deco::prob::stats;
+
+fn main() {
+    let spec = CloudSpec::amazon_ec2();
+    let (store, report) = calibrate(&spec, 10_000, 40, 2015);
+
+    println!("{}", report.table2());
+
+    println!("Figure 6 — m1.medium network dynamics:");
+    let medium = &report.types[1];
+    println!(
+        "  relative spread (max-min)/mean = {:.1}%",
+        stats::relative_spread(&medium.net_samples) * 100.0
+    );
+    let (fit, gof) = normality_test(&medium.net_samples, 20);
+    println!(
+        "  fitted Normal: mu = {:.1} MB/s, sigma = {:.1} MB/s; chi-square p = {:.3}",
+        fit.mu, fit.sigma, gof.p_value
+    );
+    println!(
+        "  => normality {} at the 1% level\n",
+        if gof.accepts(0.01) { "retained" } else { "rejected" }
+    );
+
+    println!("Figure 7 — pair bandwidth histograms (calibrated):");
+    for (a, b) in [(2usize, 2usize), (1, 2)] {
+        let h = store.pair_net_hist(a, b);
+        println!(
+            "  {} <-> {}: mean {:.1} MB/s, sd {:.1} MB/s",
+            spec.types[a].name,
+            spec.types[b].name,
+            h.mean(),
+            h.variance().sqrt()
+        );
+    }
+    println!("  (the slower endpoint dominates the pair, as in the paper)");
+}

@@ -1,0 +1,70 @@
+//! Follow-the-cost: runtime migration across cloud regions.
+//!
+//! ```sh
+//! cargo run --release --example follow_the_cost
+//! ```
+//!
+//! A CPU-heavy Ligo workflow is deployed in the expensive Singapore
+//! region. At
+//! every decision epoch, Deco re-optimizes the migration decision for the
+//! remaining tasks (Equations (7)–(10)): execution savings in the cheaper
+//! US East region versus the transfer bill and instance-restart waste.
+//! Compared against staying put and against the threshold Heuristic.
+
+use deco::baselines::FollowCostHeuristic;
+use deco::cloud::sim::{run_plan, run_with_policy};
+use deco::cloud::{CloudSpec, Plan};
+use deco::engine::followcost::DecoFollowCost;
+use deco::workflow::generators;
+
+fn main() {
+    let spec = CloudSpec::amazon_ec2();
+    let wf = generators::ligo(50, 3);
+    let types = vec![0usize; wf.len()]; // m1.small fleet
+    let start_region = 1; // ap-southeast-1 (33% pricier)
+    let plan = Plan::packed(&wf, &types, start_region, &spec);
+    println!(
+        "workflow {} ({} tasks) deployed in {}",
+        wf.name,
+        wf.len(),
+        spec.regions[start_region].name
+    );
+
+    // Stay put.
+    let stay = run_plan(&spec, &wf, &plan, 11);
+    println!(
+        "stay in Singapore:    cost ${:.3} (compute ${:.3} + transfer ${:.3}), makespan {:.0} s",
+        stay.cost.total(),
+        stay.cost.compute,
+        stay.cost.transfer,
+        stay.makespan
+    );
+
+    // The threshold Heuristic (50% default).
+    let mut heuristic = FollowCostHeuristic::new(&wf, spec.clone(), types.clone(), 0.5);
+    let h = run_with_policy(&spec, &wf, &plan, &mut heuristic, 600.0, 11);
+    println!(
+        "heuristic (50%):      cost ${:.3} (compute ${:.3} + transfer ${:.3}), {} adjustments",
+        h.cost.total(),
+        h.cost.compute,
+        h.cost.transfer,
+        heuristic.adjustments
+    );
+
+    // Deco's runtime re-optimization.
+    let deadline = 1e9; // loose deadline: pure cost play
+    let mut deco = DecoFollowCost::new(spec.clone(), types, deadline);
+    let d = run_with_policy(&spec, &wf, &plan, &mut deco, 600.0, 11);
+    println!(
+        "deco follow-the-cost: cost ${:.3} (compute ${:.3} + transfer ${:.3}), {} re-plans",
+        d.cost.total(),
+        d.cost.compute,
+        d.cost.transfer,
+        deco.replans
+    );
+    println!(
+        "\nsavings vs staying: heuristic {:.1}%, deco {:.1}%",
+        (1.0 - h.cost.total() / stay.cost.total()) * 100.0,
+        (1.0 - d.cost.total() / stay.cost.total()) * 100.0
+    );
+}

@@ -1,0 +1,77 @@
+//! Quickstart: plan and execute a Montage workflow with Deco.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the full Figure-3 pipeline: calibrate the cloud, build a
+//! workflow, let Deco pick instance types under a probabilistic deadline,
+//! and execute the plan against the dynamic cloud 20 times.
+
+use deco::cloud::calibration::calibrate;
+use deco::cloud::CloudSpec;
+use deco::engine::estimate::deadline_anchors;
+use deco::engine::Deco;
+use deco::pegasus::scheduler::{DecoScheduler, Requirements};
+use deco::pegasus::Pegasus;
+use deco::solver::EvalBackend;
+use deco::workflow::generators;
+
+fn main() {
+    // 1. The cloud: EC2's four m1 types in two regions, with the Table 2
+    //    performance dynamics. Calibration measures it and builds the
+    //    metadata store Deco plans against.
+    let spec = CloudSpec::amazon_ec2();
+    let (store, report) = calibrate(&spec, 5_000, 40, 42);
+    println!("calibrated the cloud:\n{}", report.table2());
+
+    // 2. The workflow: a 1-degree Montage mosaic (~20 tasks).
+    let wf = generators::montage(1, 7);
+    println!(
+        "workflow {}: {} tasks, depth {}, width {}",
+        wf.name,
+        wf.len(),
+        wf.depth(),
+        wf.width()
+    );
+
+    // 3. The requirement: finish within the medium deadline with 96%
+    //    probability, at minimum cost.
+    let (dmin, dmax) = deadline_anchors(&wf, &spec);
+    let deadline = 0.5 * (dmin + dmax);
+    println!("deadline: {deadline:.0} s (Dmin {dmin:.0}, Dmax {dmax:.0}), requirement: 96%");
+
+    // 4. Plan with Deco.
+    let deco = Deco::new(store.clone());
+    let plan = deco
+        .plan_workflow(&wf, deadline, 0.96, &EvalBackend::SeqCpu)
+        .expect("a feasible plan exists");
+    println!(
+        "plan: {} instances, estimated cost ${:.3}, P(meet deadline) >= {:.2}, {} states searched",
+        plan.plan.slots.len(),
+        plan.evaluation.objective,
+        plan.evaluation.constraint_margin,
+        plan.stats.states_evaluated
+    );
+    for (i, slot) in plan.plan.slots.iter().enumerate() {
+        let n = plan.plan.assign.iter().filter(|&&s| s == i).count();
+        println!("  instance {i}: {} x{n} tasks", spec.types[slot.itype].name);
+    }
+
+    // 5. Execute through the WMS, 20 independent runs against the dynamic
+    //    cloud.
+    let wms = Pegasus::new(store);
+    let req = Requirements {
+        deadline,
+        percentile: 0.96,
+    };
+    let sched = DecoScheduler::default();
+    let exe = wms.plan(&wf, &sched, req).expect("mapped");
+    let campaign = wms.run_many(&exe, req, "deco", 20, 99);
+    println!(
+        "executed 20 runs: mean cost ${:.3}, mean makespan {:.0} s, deadline hit rate {:.0}%",
+        campaign.mean_cost(),
+        campaign.mean_makespan(),
+        campaign.deadline_hit_rate * 100.0
+    );
+}

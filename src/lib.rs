@@ -1,0 +1,25 @@
+//! Deco — a declarative optimization engine for resource provisioning of
+//! scientific workflows in IaaS clouds.
+//!
+//! This facade crate re-exports the whole workspace so examples, integration
+//! tests, and downstream users have a single dependency:
+//!
+//! * [`prob`] — probability substrate (distributions, histograms, fitting).
+//! * [`workflow`] — workflow DAG model, DAX files, generators, ensembles.
+//! * [`cloud`] — IaaS cloud simulator and calibration pipeline.
+//! * [`wlog`] — the WLog declarative language and its probabilistic IR.
+//! * [`gpu`] — the GPU device model used by the parallel solver.
+//! * [`solver`] — the generic / A* search engine.
+//! * [`baselines`] — Autoscaling, SPSS and the follow-the-cost heuristic.
+//! * [`engine`] — the Deco engine proper (the paper's contribution).
+//! * [`pegasus`] — the workflow management system integration.
+
+pub use deco_baselines as baselines;
+pub use deco_cloud as cloud;
+pub use deco_core as engine;
+pub use deco_gpu as gpu;
+pub use deco_pegasus as pegasus;
+pub use deco_prob as prob;
+pub use deco_solver as solver;
+pub use deco_wlog as wlog;
+pub use deco_workflow as workflow;

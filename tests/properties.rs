@@ -1,0 +1,219 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use deco::cloud::billing::quanta_charged;
+use deco::cloud::plan::{mean_schedule, Plan};
+use deco::cloud::CloudSpec;
+use deco::prob::dist::{Dist, Gamma, Normal};
+use deco::prob::rng::seeded;
+use deco::prob::Histogram;
+use deco::wlog::ast::Term;
+use deco::wlog::unify::Bindings;
+use deco::workflow::dax::{emit_dax, parse_dax};
+use deco::workflow::generators;
+use proptest::prelude::*;
+use rand::RngCore;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// DAX emit ∘ parse is the identity on structure, profiles and edge
+    /// payloads, for arbitrary seeded random DAGs.
+    #[test]
+    fn dax_round_trip_random_dags(n in 2usize..40, p in 0.02f64..0.4, seed in 0u64..500) {
+        let wf = generators::random_dag(n, p, seed);
+        let re = parse_dax(&emit_dax(&wf)).unwrap();
+        prop_assert_eq!(re.len(), wf.len());
+        prop_assert_eq!(re.edges().count(), wf.edges().count());
+        for (a, b) in wf.tasks().zip(re.tasks()) {
+            prop_assert!((a.profile.cpu_seconds - b.profile.cpu_seconds).abs() < 1e-9);
+            prop_assert!((a.profile.read_bytes - b.profile.read_bytes).abs() < 1.0);
+            prop_assert!((a.profile.write_bytes - b.profile.write_bytes).abs() < 1.0);
+        }
+        for e in wf.edges() {
+            let bytes = re.edge_bytes(e.from, e.to);
+            prop_assert!(bytes.is_some());
+            prop_assert!((bytes.unwrap() - e.bytes).abs() < 1.0);
+        }
+    }
+
+    /// The weighted critical path dominates every root-to-sink chain.
+    #[test]
+    fn critical_path_dominates_chains(n in 2usize..30, p in 0.05f64..0.5, seed in 0u64..200) {
+        let wf = generators::random_dag(n, p, seed);
+        let weight = |t: deco::workflow::TaskId| 1.0 + (t.index() % 7) as f64;
+        let (_, cp) = wf.critical_path(weight);
+        // Greedy heaviest chain is a lower bound.
+        let mut cur = *wf.roots().first().unwrap();
+        let mut len = weight(cur);
+        loop {
+            let next = wf.children(cur).max_by(|a, b| {
+                weight(*a).partial_cmp(&weight(*b)).unwrap()
+            });
+            match next {
+                Some(c) => { cur = c; len += weight(cur); }
+                None => break,
+            }
+        }
+        prop_assert!(len <= cp + 1e-9);
+    }
+
+    /// Billing is monotone in usage and never under-charges the exact
+    /// fractional time.
+    #[test]
+    fn billing_monotone_and_covers_usage(a in 0.0f64..50_000.0, b in 0.0f64..50_000.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(quanta_charged(lo, 3600.0) <= quanta_charged(hi, 3600.0));
+        prop_assert!(quanta_charged(hi, 3600.0) as f64 * 3600.0 >= hi);
+    }
+
+    /// Histogram convolution adds means (within discretization tolerance)
+    /// for arbitrary Normal pairs.
+    #[test]
+    fn convolution_adds_means(m1 in 5.0f64..200.0, s1 in 0.5f64..20.0,
+                              m2 in 5.0f64..200.0, s2 in 0.5f64..20.0) {
+        let a = Histogram::from_dist(&Normal::new(m1, s1), 40, 4.0, None);
+        let b = Histogram::from_dist(&Normal::new(m2, s2), 40, 4.0, None);
+        let c = a.convolve(&b);
+        let tol = 0.1 * (s1 + s2) + 0.02 * (m1 + m2);
+        prop_assert!((c.mean() - (m1 + m2)).abs() < tol,
+            "{} vs {}", c.mean(), m1 + m2);
+    }
+
+    /// Histogram percentiles are monotone in the level and bounded by the
+    /// support for arbitrary Gamma laws.
+    #[test]
+    fn percentiles_monotone(k in 1.0f64..300.0, theta in 0.05f64..2.0) {
+        let h = Histogram::from_dist(&Gamma::new(k, theta), 50, 4.0, Some(0.0));
+        let (lo, hi) = h.support();
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=10 {
+            let q = h.percentile(i as f64 / 10.0);
+            prop_assert!(q >= prev && q >= lo - 1e-9 && q <= hi + 1e-9);
+            prev = q;
+        }
+    }
+
+    /// Sampling a distribution and refitting recovers the mean within a
+    /// tolerance scaled to the standard error.
+    #[test]
+    fn fit_recovers_mean(mu in 20.0f64..500.0, sigma in 1.0f64..30.0, seed in 0u64..100) {
+        let d = Normal::new(mu, sigma);
+        let mut rng = seeded(seed);
+        let xs: Vec<f64> = (0..4000).map(|_| d.sample(&mut rng)).collect();
+        let fit = deco::prob::fit::fit_normal(&xs);
+        prop_assert!((fit.mu - mu).abs() < 6.0 * sigma / (4000f64).sqrt() + 1e-6);
+    }
+
+    /// Packed plans are always valid and cover every task, for arbitrary
+    /// type vectors over arbitrary DAGs.
+    #[test]
+    fn packed_plans_always_valid(n in 2usize..25, p in 0.05f64..0.4,
+                                 seed in 0u64..100, tseed in 0u64..50) {
+        let spec = CloudSpec::amazon_ec2();
+        let wf = generators::random_dag(n, p, seed);
+        let mut rng = seeded(tseed);
+        let types: Vec<usize> = (0..n).map(|_| (rng.next_u64() % 4) as usize).collect();
+        let plan = Plan::packed(&wf, &types, 0, &spec);
+        prop_assert!(plan.validate(&wf, &spec).is_ok());
+        for t in wf.task_ids() {
+            prop_assert_eq!(plan.task_type(t), types[t.index()]);
+        }
+        // A mean schedule exists and respects precedence.
+        let sched = mean_schedule(&wf, &plan, &spec);
+        for e in wf.edges() {
+            prop_assert!(sched.finish[e.from.index()] <= sched.finish[e.to.index()] + 1e-9);
+        }
+    }
+
+    /// The simulated makespan never beats the critical-path bound computed
+    /// from the same realization floor (tasks cannot finish before their
+    /// dependency chain's CPU time at infinite bandwidth).
+    #[test]
+    fn simulation_respects_cpu_lower_bound(seed in 0u64..50) {
+        let spec = CloudSpec::amazon_ec2();
+        let wf = generators::ligo(20, seed);
+        let types = vec![3usize; wf.len()]; // fastest
+        let plan = Plan::packed(&wf, &types, 0, &spec);
+        let r = deco::cloud::run_plan(&spec, &wf, &plan, seed);
+        let (_, cpu_bound) = wf.critical_path(|t| {
+            wf.task(t).profile.cpu_seconds / spec.types[3].ecu
+        });
+        prop_assert!(r.makespan >= cpu_bound - 1e-6,
+            "makespan {} below CPU bound {}", r.makespan, cpu_bound);
+    }
+
+    /// Unification round-trip: after unifying a pattern with a ground
+    /// term, resolving the pattern yields exactly that term.
+    #[test]
+    fn unification_round_trips(x in -1e6f64..1e6, y in -1e6f64..1e6) {
+        let mut b = Bindings::new();
+        let pattern = Term::compound(
+            "f",
+            vec![Term::var("A"), Term::compound("g", vec![Term::var("B"), Term::var("A")])],
+        );
+        let ground = Term::compound(
+            "f",
+            vec![Term::num(x), Term::compound("g", vec![Term::num(y), Term::num(x)])],
+        );
+        prop_assert!(b.unify(&pattern, &ground));
+        prop_assert_eq!(b.resolve(&pattern), ground);
+        // Inconsistent ground term must fail when x != y.
+        if x != y {
+            let mut b2 = Bindings::new();
+            let bad = Term::compound(
+                "f",
+                vec![Term::num(x), Term::compound("g", vec![Term::num(y), Term::num(y)])],
+            );
+            prop_assert!(!b2.unify(&pattern, &bad));
+        }
+    }
+
+    /// Undoing to a mark restores unifiability.
+    #[test]
+    fn bindings_undo_is_complete(vals in proptest::collection::vec(-100f64..100.0, 1..8)) {
+        let mut b = Bindings::new();
+        let mark = b.mark();
+        for (i, &v) in vals.iter().enumerate() {
+            let var = Term::var(format!("V{i}"));
+            let ok = b.unify(&var, &Term::num(v));
+            prop_assert!(ok);
+        }
+        b.undo(mark);
+        // All variables free again: they can take fresh, different values.
+        for (i, &v) in vals.iter().enumerate() {
+            let var = Term::var(format!("V{i}"));
+            let ok = b.unify(&var, &Term::num(v + 1.0));
+            prop_assert!(ok);
+        }
+    }
+}
+
+// Non-proptest cross-crate invariants.
+
+#[test]
+fn gpu_model_cpu1_is_identity_baseline() {
+    use deco::gpu::{launch, DeviceSpec};
+    let d = DeviceSpec::single_core();
+    let inputs: Vec<u64> = (0..32).collect();
+    let report = launch(&d, &inputs, 1, 0, |&x, _| x * 2);
+    // On a single full-speed core, modeled time == host time.
+    assert!((report.timing.modeled_seconds - report.timing.host_seconds).abs() < 1e-9);
+}
+
+#[test]
+fn metadata_store_quantiles_bracket_truth() {
+    let spec = CloudSpec::amazon_ec2();
+    let (store, _) = deco::cloud::calibration::calibrate(&spec, 4000, 40, 17);
+    for (i, t) in spec.types.iter().enumerate() {
+        let h = store.hist(i, deco::cloud::PerfComponent::SeqIo);
+        let truth = t.seq_io();
+        // Calibrated median within 5% of the law's median.
+        let med = h.percentile(0.5);
+        let truth_med = truth.mean(); // Gamma at these shapes: mean ~ median
+        assert!(
+            (med - truth_med).abs() / truth_med < 0.06,
+            "{}: {med} vs {truth_med}",
+            t.name
+        );
+    }
+}
