@@ -63,7 +63,12 @@ pub fn assign_deadlines(
 }
 
 /// The per-level *duration budget* each task must fit into.
-fn level_budgets(wf: &Workflow, spec: &CloudSpec, deadline: f64, reference_type: usize) -> Vec<f64> {
+fn level_budgets(
+    wf: &Workflow,
+    spec: &CloudSpec,
+    deadline: f64,
+    reference_type: usize,
+) -> Vec<f64> {
     let groups = wf.level_groups();
     let weights: Vec<f64> = groups
         .iter()

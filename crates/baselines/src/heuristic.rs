@@ -35,8 +35,12 @@ pub fn offline_region_choice(
         let migration = if r == initial_region {
             0.0
         } else {
-            let bytes: f64 = wf.roots().iter().map(|&t| wf.task(t).profile.read_bytes).sum();
-            bytes / (1024.0 * 1024.* 1024.0) * spec.inter_region_price_per_gb
+            let bytes: f64 = wf
+                .roots()
+                .iter()
+                .map(|&t| wf.task(t).profile.read_bytes)
+                .sum();
+            bytes / (1024.0 * 1024. * 1024.0) * spec.inter_region_price_per_gb
         };
         let total = exec + migration;
         if total < best_cost {
@@ -126,7 +130,13 @@ impl RuntimePolicy for FollowCostHeuristic {
             }
             for (_, tasks) in by_slot {
                 let itype = self.types[tasks[0].index()];
-                sim.reassign_group(&tasks, VmSlot { itype, region: target });
+                sim.reassign_group(
+                    &tasks,
+                    VmSlot {
+                        itype,
+                        region: target,
+                    },
+                );
             }
         }
     }
@@ -154,7 +164,7 @@ mod tests {
         // Heavy CPU, tiny data: migration is nearly free, so the cheaper
         // region (0) wins even when starting in region 1.
         let wf = generators::pipeline(4, 5000.0, 1024);
-        let choice = offline_region_choice(&wf, &spec, &vec![2; 4], 1);
+        let choice = offline_region_choice(&wf, &spec, &[2; 4], 1);
         assert_eq!(choice, 0, "us-east is 33% cheaper");
     }
 
@@ -163,7 +173,7 @@ mod tests {
         let mut spec = CloudSpec::amazon_ec2();
         spec.inter_region_price_per_gb = 1e6; // prohibitive transfer
         let wf = generators::pipeline(2, 1.0, 10 * 1024 * 1024 * 1024);
-        let choice = offline_region_choice(&wf, &spec, &vec![0; 2], 1);
+        let choice = offline_region_choice(&wf, &spec, &[0; 2], 1);
         assert_eq!(choice, 1, "staying in the pricier region avoids transfer");
     }
 
@@ -178,7 +188,10 @@ mod tests {
         assert!(policy.adjustments >= 1);
         // At least one later task must have moved to region 0 (it pays a
         // cross-region transfer on the way).
-        assert!(r.cost.transfer > 0.0, "migration crosses the region boundary");
+        assert!(
+            r.cost.transfer > 0.0,
+            "migration crosses the region boundary"
+        );
     }
 
     #[test]

@@ -50,7 +50,11 @@ mod tests {
         let wf = generators::montage(4, 0);
         let types = random_types(&wf, &spec, 42);
         let distinct: std::collections::HashSet<_> = types.iter().collect();
-        assert_eq!(distinct.len(), spec.k(), "hundreds of draws hit all 4 types");
+        assert_eq!(
+            distinct.len(),
+            spec.k(),
+            "hundreds of draws hit all 4 types"
+        );
         // Deterministic per seed.
         assert_eq!(types, random_types(&wf, &spec, 42));
         assert_ne!(types, random_types(&wf, &spec, 43));

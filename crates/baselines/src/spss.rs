@@ -105,7 +105,8 @@ pub fn spss_admit(
 /// MinDeadline/MaxDeadline and MinBudget/MaxBudget experiment ranges.
 pub fn min_possible_makespan(wf: &Workflow, spec: &CloudSpec) -> f64 {
     let fastest = spec.priciest_type();
-    wf.critical_path(|t| mean_exec_seconds(spec, fastest, wf, t)).1
+    wf.critical_path(|t| mean_exec_seconds(spec, fastest, wf, t))
+        .1
 }
 
 #[cfg(test)]

@@ -1,0 +1,200 @@
+//! Single-state Monte-Carlo evaluation throughput: the reference
+//! Algorithm 1 loop (`mc_evaluate_plan_reference`, fresh topological sort
+//! and O(bins) linear-scan sampling per realization) against the compiled
+//! fast path (`CompiledPlan` + reusable `EvalScratch`).
+//!
+//! Beyond the criterion output, the bench writes `BENCH_mc_eval.json` at
+//! the repository root with the measured medians and speedups so future
+//! PRs can track the trajectory without parsing bench logs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use deco_cloud::{CloudSpec, MetadataStore, Plan};
+use deco_core::estimate::{
+    mc_evaluate_plan_reference, mc_evaluate_plan_scratch, CompiledPlan, EvalScratch, ExecTimeTable,
+};
+use deco_workflow::generators;
+use deco_workflow::Workflow;
+use std::time::{Duration, Instant};
+
+/// Monte-Carlo iterations per evaluation — the scale the scheduling
+/// problem uses for one search state.
+const MC_ITERS: usize = 200;
+const HIST_BINS: usize = 12;
+const SEED: u64 = 7;
+
+struct Case {
+    name: &'static str,
+    wf: Workflow,
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "montage_8",
+            wf: generators::montage(8, 1),
+        },
+        Case {
+            name: "ligo_20",
+            wf: generators::ligo(20, 1),
+        },
+        Case {
+            name: "ligo_100",
+            wf: generators::ligo(100, 1),
+        },
+        Case {
+            name: "ligo_1000",
+            wf: generators::ligo(1000, 1),
+        },
+    ]
+}
+
+/// Median seconds per call over `samples` timed samples, each sized to a
+/// wall-clock budget estimated from one untimed warm-up call.
+fn median_secs(mut f: impl FnMut(), samples: usize, budget: Duration) -> f64 {
+    let t = Instant::now();
+    f();
+    let once = t.elapsed().as_secs_f64().max(1e-9);
+    let per_sample = ((budget.as_secs_f64() / samples as f64 / once).floor() as u64).max(1);
+    let mut medians: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                f();
+            }
+            t.elapsed().as_secs_f64() / per_sample as f64
+        })
+        .collect();
+    medians.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    medians[medians.len() / 2]
+}
+
+fn mc_eval(c: &mut Criterion) {
+    let spec = CloudSpec::amazon_ec2();
+    let store = MetadataStore::from_ground_truth(spec.clone(), 30);
+    let mut rows = Vec::new();
+
+    for case in cases() {
+        let wf = &case.wf;
+        let table = ExecTimeTable::build(wf, &store, HIST_BINS);
+        let plan = Plan::packed(wf, &vec![1; wf.len()], 0, &spec);
+        let deadline = 0.75
+            * mc_evaluate_plan_reference(wf, &plan, &table, &spec, f64::INFINITY, 0.9, 32, SEED)
+                .quantile_makespan;
+
+        // Sanity: both paths must give the same verdict before we time them.
+        let a = mc_evaluate_plan_reference(wf, &plan, &table, &spec, deadline, 0.9, 64, SEED);
+        let mut scratch = EvalScratch::new();
+        let b = mc_evaluate_plan_scratch(
+            wf,
+            &plan,
+            &table,
+            &spec,
+            deadline,
+            0.9,
+            64,
+            SEED,
+            &mut scratch,
+        );
+        assert_eq!(a, b, "{}: compiled path diverged from reference", case.name);
+
+        let mut group = c.benchmark_group(&format!("mc_eval/{}", case.name));
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(200))
+            .measurement_time(Duration::from_millis(1200));
+        group.bench_function("reference", |bch| {
+            bch.iter(|| {
+                mc_evaluate_plan_reference(
+                    wf,
+                    &plan,
+                    &table,
+                    &spec,
+                    black_box(deadline),
+                    0.9,
+                    MC_ITERS,
+                    SEED,
+                )
+            })
+        });
+        group.bench_function("compiled", |bch| {
+            bch.iter(|| {
+                mc_evaluate_plan_scratch(
+                    wf,
+                    &plan,
+                    &table,
+                    &spec,
+                    black_box(deadline),
+                    0.9,
+                    MC_ITERS,
+                    SEED,
+                    &mut scratch,
+                )
+            })
+        });
+        group.bench_function("compile_only", |bch| {
+            bch.iter(|| CompiledPlan::compile(wf, &plan, &table, &spec))
+        });
+        group.finish();
+
+        // Independent medians for the JSON record.
+        let budget = Duration::from_millis(1500);
+        let ref_s = median_secs(
+            || {
+                black_box(mc_evaluate_plan_reference(
+                    wf, &plan, &table, &spec, deadline, 0.9, MC_ITERS, SEED,
+                ));
+            },
+            7,
+            budget,
+        );
+        let fast_s = median_secs(
+            || {
+                black_box(mc_evaluate_plan_scratch(
+                    wf,
+                    &plan,
+                    &table,
+                    &spec,
+                    deadline,
+                    0.9,
+                    MC_ITERS,
+                    SEED,
+                    &mut scratch,
+                ));
+            },
+            7,
+            budget,
+        );
+        let speedup = ref_s / fast_s;
+        println!(
+            "mc_eval {:<12} tasks={:<5} slots={:<5} reference {:>10.1} us  compiled {:>10.1} us  speedup {:.2}x",
+            case.name,
+            wf.len(),
+            plan.slots.len(),
+            ref_s * 1e6,
+            fast_s * 1e6,
+            speedup
+        );
+        rows.push(format!(
+            "    {{\"name\": \"{}\", \"tasks\": {}, \"mc_iters\": {}, \
+             \"reference_us\": {:.3}, \"compiled_us\": {:.3}, \"speedup\": {:.3}}}",
+            case.name,
+            wf.len(),
+            MC_ITERS,
+            ref_s * 1e6,
+            fast_s * 1e6,
+            speedup
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"mc_eval\",\n  \"unit\": \"microseconds_per_evaluation\",\n  \
+         \"cases\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mc_eval.json");
+    std::fs::write(out, json).expect("write BENCH_mc_eval.json");
+    println!("wrote {out}");
+}
+
+criterion_group!(mc_eval_benches, mc_eval);
+criterion_main!(mc_eval_benches);

@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use deco_bench::common::Env;
-use deco_bench::{ablation, ensemble_exp, figures, followcost_exp, scheduling_exp, speedup_exp, Scale};
+use deco_bench::{
+    ablation, ensemble_exp, figures, followcost_exp, scheduling_exp, speedup_exp, Scale,
+};
 use std::time::Duration;
 
 fn quick(c: &mut Criterion, name: &str, mut f: impl FnMut()) {

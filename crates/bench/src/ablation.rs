@@ -45,7 +45,11 @@ fn problem<'a>(env: &'a Env, wf: &'a deco_workflow::Workflow, pct: f64) -> Sched
 
 /// A problem pinned at a *tight* deadline — the regime where mean-based
 /// and percentile-based planning actually diverge.
-fn tight_problem<'a>(env: &'a Env, wf: &'a deco_workflow::Workflow, pct: f64) -> SchedulingProblem<'a> {
+fn tight_problem<'a>(
+    env: &'a Env,
+    wf: &'a deco_workflow::Workflow,
+    pct: f64,
+) -> SchedulingProblem<'a> {
     let mut p = SchedulingProblem::new(wf, &env.spec, &env.store, env.tight_deadline(wf), pct);
     p.mc_iters = env.scale.mc_iters().min(80);
     p
@@ -110,7 +114,10 @@ pub fn astar_vs_generic(env: &Env) -> AblationResult {
     let g = p.solve_generic(&opts(env), &env.backend());
     let a = p.solve_astar(&opts(env), &env.backend());
     let cost = |r: &deco_solver::SearchResult<Vec<usize>>| {
-        r.best.as_ref().map(|(_, e)| e.objective).unwrap_or(f64::NAN)
+        r.best
+            .as_ref()
+            .map(|(_, e)| e.objective)
+            .unwrap_or(f64::NAN)
     };
     AblationResult {
         title: "Ablation: A* pruning vs generic search (4-task chain)".into(),
@@ -138,7 +145,10 @@ pub fn explore_vs_exploit(env: &Env) -> AblationResult {
     let get = |r: &deco_solver::SearchResult<Vec<usize>>| {
         (
             r.stats.states_evaluated as f64,
-            r.best.as_ref().map(|(_, e)| e.objective).unwrap_or(f64::NAN),
+            r.best
+                .as_ref()
+                .map(|(_, e)| e.objective)
+                .unwrap_or(f64::NAN),
         )
     };
     let (bs, bc) = get(&bfs);
@@ -206,7 +216,10 @@ pub fn operation_set(env: &Env) -> AblationResult {
             label: label.into(),
             values: vec![
                 r.stats.states_evaluated as f64,
-                r.best.as_ref().map(|(_, e)| e.objective).unwrap_or(f64::NAN),
+                r.best
+                    .as_ref()
+                    .map(|(_, e)| e.objective)
+                    .unwrap_or(f64::NAN),
             ],
         });
     }

@@ -10,7 +10,9 @@
 //! workloads (see `deco_bench::Scale`).
 
 use deco_bench::common::Env;
-use deco_bench::{ablation, ensemble_exp, figures, followcost_exp, scheduling_exp, speedup_exp, Scale};
+use deco_bench::{
+    ablation, ensemble_exp, figures, followcost_exp, scheduling_exp, speedup_exp, Scale,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

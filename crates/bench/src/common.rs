@@ -10,7 +10,7 @@ use deco_workflow::Workflow;
 
 /// The root seed every experiment derives from; change it to re-randomize
 /// the whole evaluation coherently.
-pub const ROOT_SEED: u64 = 0x0DEC0_2015;
+pub const ROOT_SEED: u64 = 0xDEC0_2015;
 
 /// One fully calibrated environment: the EC2 spec plus a metadata store
 /// measured from it.
@@ -24,8 +24,7 @@ pub struct Env {
 impl Env {
     pub fn new(scale: Scale) -> Env {
         let spec = CloudSpec::amazon_ec2();
-        let (store, calibration) =
-            calibrate(&spec, scale.calibration_samples(), 40, ROOT_SEED);
+        let (store, calibration) = calibrate(&spec, scale.calibration_samples(), 40, ROOT_SEED);
         Env {
             spec,
             store,

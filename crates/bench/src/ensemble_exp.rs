@@ -68,12 +68,14 @@ pub struct Fig9Result {
 /// cheapest member and the cost of all members (per the paper's
 /// MinBudget/MaxBudget construction).
 fn budget_levels(member_costs: &[f64]) -> Vec<f64> {
-    let finite: Vec<f64> = member_costs.iter().cloned().filter(|c| c.is_finite()).collect();
+    let finite: Vec<f64> = member_costs
+        .iter()
+        .cloned()
+        .filter(|c| c.is_finite())
+        .collect();
     let min = finite.iter().cloned().fold(f64::INFINITY, f64::min);
     let max: f64 = finite.iter().sum();
-    (0..5)
-        .map(|i| min + (max - min) * i as f64 / 4.0)
-        .collect()
+    (0..5).map(|i| min + (max - min) * i as f64 / 4.0).collect()
 }
 
 pub fn fig9(env: &Env) -> Fig9Result {
@@ -149,10 +151,10 @@ pub fn fig9(env: &Env) -> Fig9Result {
             // Cost ratio over the workflows both admitted.
             let mut spss_cost = 0.0;
             let mut deco_cost = 0.0;
-            for i in 0..ensemble.len() {
-                if spss.admitted[i] && member_plans[i].cost.is_finite() {
+            for (i, mp) in member_plans.iter().enumerate().take(ensemble.len()) {
+                if spss.admitted[i] && mp.cost.is_finite() {
                     spss_cost += spss.est_cost[i];
-                    deco_cost += member_plans[i].cost;
+                    deco_cost += mp.cost;
                 }
             }
             cells.push(Fig9Cell {

@@ -40,14 +40,31 @@ pub fn fig1(env: &Env) -> Fig1Result {
         deadline: env.medium_deadline(&wf),
         percentile: 0.96,
     };
-    let mut deco = DecoScheduler::default();
-    deco.options = env.deco_options();
+    let deco = DecoScheduler {
+        options: env.deco_options(),
+        ..Default::default()
+    };
     let schedulers: Vec<(String, Box<dyn Scheduler>)> = vec![
-        ("m1.small".into(), Box::new(SingleTypeScheduler { itype: 0 })),
-        ("m1.medium".into(), Box::new(SingleTypeScheduler { itype: 1 })),
-        ("m1.large".into(), Box::new(SingleTypeScheduler { itype: 2 })),
-        ("m1.xlarge".into(), Box::new(SingleTypeScheduler { itype: 3 })),
-        ("random".into(), Box::new(RandomScheduler { seed: ROOT_SEED })),
+        (
+            "m1.small".into(),
+            Box::new(SingleTypeScheduler { itype: 0 }),
+        ),
+        (
+            "m1.medium".into(),
+            Box::new(SingleTypeScheduler { itype: 1 }),
+        ),
+        (
+            "m1.large".into(),
+            Box::new(SingleTypeScheduler { itype: 2 }),
+        ),
+        (
+            "m1.xlarge".into(),
+            Box::new(SingleTypeScheduler { itype: 3 }),
+        ),
+        (
+            "random".into(),
+            Box::new(RandomScheduler { seed: ROOT_SEED }),
+        ),
         ("autoscaling".into(), Box::new(AutoscalingScheduler)),
         ("deco".into(), Box::new(deco)),
     ];
@@ -56,8 +73,12 @@ pub fn fig1(env: &Env) -> Fig1Result {
         let exe = wms
             .plan(&wf, s.as_ref(), req)
             .unwrap_or_else(|| panic!("{name} failed to plan"));
-        let campaign = wms.run_many(&exe, req, name, env.scale.runs(), ROOT_SEED ^ 0xF16_1);
-        raw.push((name.clone(), campaign.mean_cost(), campaign.deadline_hit_rate));
+        let campaign = wms.run_many(&exe, req, name, env.scale.runs(), ROOT_SEED ^ 0xF161);
+        raw.push((
+            name.clone(),
+            campaign.mean_cost(),
+            campaign.deadline_hit_rate,
+        ));
     }
     let max_cost = raw.iter().map(|r| r.1).fold(0.0f64, f64::max);
     Fig1Result {
@@ -125,10 +146,12 @@ pub fn fig2(env: &Env) -> Fig2Result {
             deadline: env.medium_deadline(&wf),
             percentile: 0.96,
         };
-        let mut deco = DecoScheduler::default();
-        deco.options = env.deco_options();
+        let deco = DecoScheduler {
+            options: env.deco_options(),
+            ..Default::default()
+        };
         let exe = wms.plan(&wf, &deco, req).expect("deco plan");
-        let campaign = wms.run_many(&exe, req, "deco", env.scale.runs(), ROOT_SEED ^ 0xF16_2);
+        let campaign = wms.run_many(&exe, req, "deco", env.scale.runs(), ROOT_SEED ^ 0xF162);
         let mean = campaign.mean_makespan();
         let normalized: Vec<f64> = campaign.makespans.iter().map(|m| m / mean).collect();
         rows.push(Fig2Row {
@@ -142,8 +165,7 @@ pub fn fig2(env: &Env) -> Fig2Result {
 
 impl Fig2Result {
     pub fn render(&self) -> String {
-        let mut s =
-            String::from("Figure 2: normalized execution-time quantiles (Deco plans)\n");
+        let mut s = String::from("Figure 2: normalized execution-time quantiles (Deco plans)\n");
         s.push_str(&format!(
             "{:<24} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
             "workflow", "min", "q1", "median", "q3", "max", "spread"
@@ -272,7 +294,11 @@ mod tests {
         assert!(r.get("m1.xlarge").deadline_hit_rate >= 0.9);
         // Among deadline-meeting configurations, Deco is the cheapest.
         let deco = r.get("deco");
-        assert!(deco.deadline_hit_rate >= 0.8, "deco hit rate {}", deco.deadline_hit_rate);
+        assert!(
+            deco.deadline_hit_rate >= 0.8,
+            "deco hit rate {}",
+            deco.deadline_hit_rate
+        );
         assert!(deco.norm_cost <= r.get("m1.xlarge").norm_cost);
         assert!(deco.norm_cost <= r.get("autoscaling").norm_cost * 1.05);
         // The paper reports Deco at ~40% of the most expensive config.
@@ -308,7 +334,11 @@ mod tests {
         let env = env();
         let r = fig6(&env);
         assert!(r.normality_p >= 0.01, "p {}", r.normality_p);
-        assert!(r.medium_spread > 0.2, "visible dynamics, got {}", r.medium_spread);
+        assert!(
+            r.medium_spread > 0.2,
+            "visible dynamics, got {}",
+            r.medium_spread
+        );
     }
 
     #[test]

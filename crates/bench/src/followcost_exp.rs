@@ -37,7 +37,13 @@ const EPOCH: f64 = 600.0;
 /// multi-hour tasks are the regime where runtime migration actually pays,
 /// so the experiment fleets are Ligo-sized 20/100/1000 (standing in for
 /// Montage-1/4/8); EXPERIMENTS.md records the substitution.
-fn fleet_cost(env: &Env, size: usize, n_workflows: usize, threshold: Option<f64>, seed: u64) -> f64 {
+fn fleet_cost(
+    env: &Env,
+    size: usize,
+    n_workflows: usize,
+    threshold: Option<f64>,
+    seed: u64,
+) -> f64 {
     let mut total = 0.0;
     for i in 0..n_workflows {
         let wf = generators::ligo(size, splitmix64(seed ^ i as u64));

@@ -40,8 +40,10 @@ pub fn fig8(env: &Env) -> Fig8Result {
                 deadline,
                 percentile: p,
             };
-            let mut deco = DecoScheduler::default();
-            deco.options = env.deco_options();
+            let deco = DecoScheduler {
+                options: env.deco_options(),
+                ..Default::default()
+            };
             let deco_exe = wms.plan(&wf, &deco, req).expect("deco plan");
             let auto_exe = wms
                 .plan(&wf, &AutoscalingScheduler, req)
@@ -117,8 +119,10 @@ pub fn fig11(env: &Env) -> Fig11Result {
             deadline,
             percentile: 0.96,
         };
-        let mut deco = DecoScheduler::default();
-        deco.options = env.deco_options();
+        let deco = DecoScheduler {
+            options: env.deco_options(),
+            ..Default::default()
+        };
         let deco_exe = wms.plan(&wf, &deco, req).expect("deco plan");
         let auto_exe = wms
             .plan(&wf, &AutoscalingScheduler, req)
@@ -152,7 +156,8 @@ pub fn fig11(env: &Env) -> Fig11Result {
 
 impl Fig11Result {
     pub fn render(&self) -> String {
-        let mut s = String::from("Figure 11: deadline sensitivity (normalized to Autoscaling@tight)\n");
+        let mut s =
+            String::from("Figure 11: deadline sensitivity (normalized to Autoscaling@tight)\n");
         s.push_str(&format!(
             "{:<24} {:>9} {:>9} {:>9} {:>9}\n",
             "deadline", "auto cost", "deco cost", "auto time", "deco time"

@@ -54,13 +54,18 @@ pub fn calibrate(
     bins: usize,
     seed: u64,
 ) -> (MetadataStore, CalibrationReport) {
-    assert!(samples >= 100, "calibration needs a meaningful sample count");
+    assert!(
+        samples >= 100,
+        "calibration needs a meaningful sample count"
+    );
     let mut hists = Vec::with_capacity(spec.types.len());
     let mut report = Vec::with_capacity(spec.types.len());
     for (i, t) in spec.types.iter().enumerate() {
         let draw = |law: &dyn Dist, salt: u64| -> Vec<f64> {
             let mut rng = split_indexed(seed, (i as u64) << 8 | salt);
-            (0..samples).map(|_| law.sample(&mut rng).max(0.0)).collect()
+            (0..samples)
+                .map(|_| law.sample(&mut rng).max(0.0))
+                .collect()
         };
         let seq = draw(&t.seq_io(), 1);
         let rand_io = draw(&t.rand_io(), 2);
@@ -99,9 +104,8 @@ pub fn calibrate(
 impl CalibrationReport {
     /// Render the Table 2 reproduction as aligned text rows.
     pub fn table2(&self) -> String {
-        let mut s = String::from(
-            "Instance type   Sequential I/O (Gamma)        Random I/O (Normal)\n",
-        );
+        let mut s =
+            String::from("Instance type   Sequential I/O (Gamma)        Random I/O (Normal)\n");
         for t in &self.types {
             s.push_str(&format!(
                 "{:<15} k = {:>6.1}, theta = {:>5.2}     mu = {:>7.1}, sigma = {:>6.1}\n",
@@ -135,9 +139,7 @@ mod tests {
                 (fit.rand_io_normal.0 - truth.rand_io_normal.0).abs() / truth.rand_io_normal.0
                     < 0.05
             );
-            assert!(
-                (fit.net_normal.0 - truth.net_normal.0).abs() / truth.net_normal.0 < 0.05
-            );
+            assert!((fit.net_normal.0 - truth.net_normal.0).abs() / truth.net_normal.0 < 0.05);
         }
     }
 

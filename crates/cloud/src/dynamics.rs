@@ -125,7 +125,10 @@ mod tests {
         let mut rng = seeded(4);
         let a = phase_seconds(2000.0 * MB, &law, &mut rng);
         let b = phase_seconds(2000.0 * MB, &law, &mut rng);
-        assert!((a - b).abs() > 1e-6, "dynamics must produce run-to-run variance");
+        assert!(
+            (a - b).abs() > 1e-6,
+            "dynamics must produce run-to-run variance"
+        );
         // Both near the 20 s expectation.
         assert!((a - 20.0).abs() < 5.0 && (b - 20.0).abs() < 5.0);
     }
@@ -168,6 +171,9 @@ mod tests {
             .map(|_| transfer_seconds(&spec, 2, 2, true, 100.0 * MB, &mut rng))
             .sum::<f64>()
             / 20.0;
-        assert!(cross > 2.0 * local, "inter-region is much slower: {cross} vs {local}");
+        assert!(
+            cross > 2.0 * local,
+            "inter-region is much slower: {cross} vs {local}"
+        );
     }
 }

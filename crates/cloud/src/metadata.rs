@@ -22,7 +22,11 @@ pub enum PerfComponent {
 }
 
 impl PerfComponent {
-    pub const ALL: [PerfComponent; 3] = [PerfComponent::SeqIo, PerfComponent::RandIo, PerfComponent::Net];
+    pub const ALL: [PerfComponent; 3] = [
+        PerfComponent::SeqIo,
+        PerfComponent::RandIo,
+        PerfComponent::Net,
+    ];
 
     pub fn name(self) -> &'static str {
         match self {

@@ -20,6 +20,23 @@ pub struct VmSlot {
     pub region: RegionId,
 }
 
+thread_local! {
+    /// Calls to [`Plan::dispatch_order`] made by the current thread.
+    /// Instrumentation for the compiled-evaluator regression tests, which
+    /// assert the topological sort runs once per compiled plan rather than
+    /// once per Monte-Carlo realization. Thread-local (not a process-wide
+    /// atomic) so concurrently running tests cannot perturb each other's
+    /// counts; the cost on the hot path is one TLS cell bump per *plan*,
+    /// which is noise.
+    static DISPATCH_ORDER_CALLS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Number of [`Plan::dispatch_order`] calls made by the current thread
+/// since it started (test instrumentation; see `DISPATCH_ORDER_CALLS`).
+pub fn dispatch_order_calls_on_this_thread() -> u64 {
+    DISPATCH_ORDER_CALLS.with(|c| c.get())
+}
+
 /// A provisioning plan: slots plus a task → slot assignment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Plan {
@@ -114,8 +131,7 @@ impl Plan {
         let mut assign = vec![usize::MAX; wf.len()];
         let mut finish = vec![0.0f64; wf.len()];
         let mut order = vec![0u32; wf.len()];
-        let mut next_rank = 0u32;
-        for t in wf.topo_order() {
+        for (rank, t) in wf.topo_order().into_iter().enumerate() {
             let ready = wf
                 .parents(t)
                 .map(|p| finish[p.index()])
@@ -135,13 +151,16 @@ impl Plan {
                 }
             };
             assign[t.index()] = s;
-            order[t.index()] = next_rank;
-            next_rank += 1;
+            order[t.index()] = rank as u32;
             let start = ready.max(slot_free[s]);
             finish[t.index()] = start + mean_exec[t.index()];
             slot_free[s] = finish[t.index()];
         }
-        Plan { slots, assign, order }
+        Plan {
+            slots,
+            assign,
+            order,
+        }
     }
 }
 
@@ -213,7 +232,7 @@ impl Plan {
                     Some((a, b)) => (a.min(start), b.max(end)),
                 };
                 let extra = quanta(Some(new_span)) - old;
-                if best.map_or(true, |(_, be, bs)| (extra, start) < (be, bs)) {
+                if best.is_none_or(|(_, be, bs)| (extra, start) < (be, bs)) {
                     best = Some((s, extra, start));
                 }
             }
@@ -254,6 +273,7 @@ impl Plan {
     pub fn dispatch_order(&self, wf: &Workflow) -> Vec<TaskId> {
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
+        DISPATCH_ORDER_CALLS.with(|c| c.set(c.get() + 1));
         assert_eq!(self.order.len(), wf.len());
         let mut indeg: Vec<usize> = wf.task_ids().map(|t| wf.parents(t).count()).collect();
         let mut heap: BinaryHeap<Reverse<(u32, u32)>> = wf
@@ -279,12 +299,7 @@ impl Plan {
 
 /// Expected execution seconds of a task on a type: deterministic CPU phase
 /// plus I/O at the type's mean sequential bandwidth.
-pub fn mean_exec_seconds(
-    spec: &CloudSpec,
-    itype: InstanceTypeId,
-    wf: &Workflow,
-    t: TaskId,
-) -> f64 {
+pub fn mean_exec_seconds(spec: &CloudSpec, itype: InstanceTypeId, wf: &Workflow, t: TaskId) -> f64 {
     let ty = &spec.types[itype];
     let p = &wf.task(t).profile;
     p.cpu_seconds / ty.ecu + crate::dynamics::phase_seconds_mean(p.io_bytes(), &ty.seq_io())
@@ -343,7 +358,11 @@ pub fn mean_schedule(wf: &Workflow, plan: &Plan, spec: &CloudSpec) -> MeanSchedu
     let mut cost = crate::billing::CostLedger::default();
     for (slot, span) in plan.slots.iter().zip(&slot_span) {
         if let Some((a, b)) = span {
-            cost.add_instance(b - a, spec.billing_quantum, spec.price(slot.itype, slot.region));
+            cost.add_instance(
+                b - a,
+                spec.billing_quantum,
+                spec.price(slot.itype, slot.region),
+            );
         }
     }
     cost.add_transfer(cross_bytes, spec.inter_region_price_per_gb);
@@ -412,7 +431,7 @@ mod tests {
         // A pipeline is strictly sequential: one slot should carry it all.
         let spec = CloudSpec::amazon_ec2();
         let wf = generators::pipeline(6, 10.0, 1 << 20);
-        let plan = Plan::packed(&wf, &vec![1; 6], 0, &spec);
+        let plan = Plan::packed(&wf, &[1; 6], 0, &spec);
         plan.validate(&wf, &spec).unwrap();
         assert_eq!(plan.slots.len(), 1, "a chain packs onto one instance");
     }
@@ -432,8 +451,7 @@ mod tests {
         let wf = generators::pipeline(4, 10.0, 1 << 20);
         let plan = Plan::packed(&wf, &[0, 1, 0, 1], 0, &spec);
         // Types alternate, so slots of both types exist.
-        let types: std::collections::HashSet<_> =
-            plan.slots.iter().map(|s| s.itype).collect();
+        let types: std::collections::HashSet<_> = plan.slots.iter().map(|s| s.itype).collect();
         assert_eq!(types.len(), 2);
     }
 
@@ -552,7 +570,10 @@ mod deadline_packing_tests {
         let a = wf.add_task("a", "x", deco_workflow::TaskProfile::new(10.0, 0.0, 0.0));
         let b = wf.add_task("b", "x", deco_workflow::TaskProfile::new(10.0, 0.0, 0.0));
         let plan = Plan {
-            slots: vec![VmSlot { itype: 0, region: 0 }],
+            slots: vec![VmSlot {
+                itype: 0,
+                region: 0,
+            }],
             assign: vec![0, 0],
             order: vec![5, 2], // b first
         };
@@ -568,7 +589,10 @@ mod deadline_packing_tests {
         let a = wf.add_task("a", "x", deco_workflow::TaskProfile::new(100.0, 0.0, 0.0));
         let b = wf.add_task("b", "x", deco_workflow::TaskProfile::new(100.0, 0.0, 0.0));
         let plan = Plan {
-            slots: vec![VmSlot { itype: 0, region: 0 }],
+            slots: vec![VmSlot {
+                itype: 0,
+                region: 0,
+            }],
             assign: vec![0, 0],
             order: vec![5, 2],
         };

@@ -385,7 +385,7 @@ mod tests {
     fn pipeline_executes_sequentially() {
         let spec = spec();
         let wf = generators::pipeline(4, 10.0, 0);
-        let plan = Plan::packed(&wf, &vec![0; 4], 0, &spec);
+        let plan = Plan::packed(&wf, &[0; 4], 0, &spec);
         let r = run_plan(&spec, &wf, &plan, 1);
         // Pure CPU on ECU-1: each task exactly 10 s, chained: 40 s.
         assert!((r.makespan - 40.0).abs() < 1e-6, "makespan {}", r.makespan);
@@ -409,7 +409,10 @@ mod tests {
         let wf = generators::fork_join(4, 100.0, 0.0);
         // Everything on a single slot.
         let plan = Plan {
-            slots: vec![VmSlot { itype: 0, region: 0 }],
+            slots: vec![VmSlot {
+                itype: 0,
+                region: 0,
+            }],
             assign: vec![0; wf.len()],
             order: (0..wf.len() as u32).collect(),
         };
@@ -421,8 +424,18 @@ mod tests {
     fn bigger_instances_are_faster_but_pricier() {
         let spec = spec();
         let wf = generators::montage(1, 5);
-        let small = run_plan(&spec, &wf, &Plan::packed(&wf, &vec![0; wf.len()], 0, &spec), 4);
-        let xlarge = run_plan(&spec, &wf, &Plan::packed(&wf, &vec![3; wf.len()], 0, &spec), 4);
+        let small = run_plan(
+            &spec,
+            &wf,
+            &Plan::packed(&wf, &vec![0; wf.len()], 0, &spec),
+            4,
+        );
+        let xlarge = run_plan(
+            &spec,
+            &wf,
+            &Plan::packed(&wf, &vec![3; wf.len()], 0, &spec),
+            4,
+        );
         assert!(xlarge.makespan < small.makespan);
         assert!(xlarge.cost.total() > small.cost.total());
     }
@@ -445,8 +458,14 @@ mod tests {
         let wf = generators::pipeline(2, 1.0, 512 * 1024 * 1024); // 512 MB stage
         let plan = Plan {
             slots: vec![
-                VmSlot { itype: 0, region: 0 },
-                VmSlot { itype: 0, region: 1 },
+                VmSlot {
+                    itype: 0,
+                    region: 0,
+                },
+                VmSlot {
+                    itype: 0,
+                    region: 1,
+                },
             ],
             assign: vec![0, 1],
             order: vec![0, 1],
@@ -456,8 +475,14 @@ mod tests {
         // Same-region version pays no transfer.
         let local = Plan {
             slots: vec![
-                VmSlot { itype: 0, region: 0 },
-                VmSlot { itype: 0, region: 0 },
+                VmSlot {
+                    itype: 0,
+                    region: 0,
+                },
+                VmSlot {
+                    itype: 0,
+                    region: 0,
+                },
             ],
             assign: vec![0, 1],
             order: vec![0, 1],
@@ -471,7 +496,7 @@ mod tests {
     fn run_until_dispatches_incrementally() {
         let spec = spec();
         let wf = generators::pipeline(3, 100.0, 0);
-        let plan = Plan::packed(&wf, &vec![0; 3], 0, &spec);
+        let plan = Plan::packed(&wf, &[0; 3], 0, &spec);
         let mut sim = Simulation::new(&spec, &wf, plan, seeded(9));
         // Horizon 150 s: tasks starting at 0 and 100 dispatch; 200 does not.
         let n = sim.run_until(150.0);
@@ -485,14 +510,23 @@ mod tests {
     fn reassign_moves_pending_task_to_new_region() {
         let spec = spec();
         let wf = generators::pipeline(2, 50.0, 1024);
-        let plan = Plan::packed(&wf, &vec![0; 2], 0, &spec);
+        let plan = Plan::packed(&wf, &[0; 2], 0, &spec);
         let mut sim = Simulation::new(&spec, &wf, plan, seeded(10));
         sim.run_until(10.0); // first task dispatched
         let pending = sim.pending_tasks();
         assert_eq!(pending.len(), 1);
-        sim.reassign(pending[0], VmSlot { itype: 1, region: 1 });
+        sim.reassign(
+            pending[0],
+            VmSlot {
+                itype: 1,
+                region: 1,
+            },
+        );
         let r = sim.finish();
-        assert!(r.cost.transfer > 0.0, "migrated task pulls data cross-region");
+        assert!(
+            r.cost.transfer > 0.0,
+            "migrated task pulls data cross-region"
+        );
     }
 
     #[test]
@@ -500,17 +534,23 @@ mod tests {
     fn reassigning_started_task_panics() {
         let spec = spec();
         let wf = generators::pipeline(2, 50.0, 1024);
-        let plan = Plan::packed(&wf, &vec![0; 2], 0, &spec);
+        let plan = Plan::packed(&wf, &[0; 2], 0, &spec);
         let mut sim = Simulation::new(&spec, &wf, plan, seeded(11));
         sim.run_until(10.0);
-        sim.reassign(deco_workflow::TaskId(0), VmSlot { itype: 1, region: 1 });
+        sim.reassign(
+            deco_workflow::TaskId(0),
+            VmSlot {
+                itype: 1,
+                region: 1,
+            },
+        );
     }
 
     #[test]
     fn durations_exclude_wait_time() {
         let spec = spec();
         let wf = generators::pipeline(2, 10.0, 0);
-        let plan = Plan::packed(&wf, &vec![0; 2], 0, &spec);
+        let plan = Plan::packed(&wf, &[0; 2], 0, &spec);
         let r = run_plan(&spec, &wf, &plan, 12);
         assert!((r.durations[0] - 10.0).abs() < 1e-6);
         assert!((r.durations[1] - 10.0).abs() < 1e-6);

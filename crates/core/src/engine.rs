@@ -20,8 +20,7 @@ use crate::scheduling::SchedulingProblem;
 use deco_cloud::{CloudSpec, MetadataStore, Plan};
 use deco_solver::transform::schedule_neighbors;
 use deco_solver::{
-    astar_search, beam_search, EvalBackend, Evaluation, SearchOptions, SearchProblem,
-    SearchStats,
+    astar_search, beam_search, EvalBackend, Evaluation, SearchOptions, SearchProblem, SearchStats,
 };
 use deco_wlog::ast::Term;
 use deco_wlog::problog::{Evaluator, ProbProgram};
@@ -94,7 +93,8 @@ impl Deco {
         percentile: f64,
         backend: &EvalBackend,
     ) -> Option<DecoPlan> {
-        let mut problem = SchedulingProblem::new(wf, self.spec(), &self.store, deadline, percentile);
+        let mut problem =
+            SchedulingProblem::new(wf, self.spec(), &self.store, deadline, percentile);
         problem.mc_iters = self.options.mc_iters;
         let result = problem.solve_beam(&self.options.search, self.options.beam_width, backend);
         result.best.map(|(types, evaluation)| DecoPlan {
@@ -151,7 +151,10 @@ impl Deco {
             )));
         }
         for e in wf.edges() {
-            prob.push_certain(edge_fact(task_atom(e.from.index()), task_atom(e.to.index())));
+            prob.push_certain(edge_fact(
+                task_atom(e.from.index()),
+                task_atom(e.to.index()),
+            ));
         }
         for r in wf.roots() {
             prob.push_certain(edge_fact(Term::atom("root"), task_atom(r.index())));
@@ -262,10 +265,7 @@ impl WlogSchedulingProblem<'_> {
             .iter()
             .enumerate()
             .map(|(i, &j)| {
-                Term::compound(
-                    "configs",
-                    vec![task_atom(i), vm_atom(j), Term::num(1.0)],
-                )
+                Term::compound("configs", vec![task_atom(i), vm_atom(j), Term::num(1.0)])
             })
             .collect();
         facts.push(Term::compound(
@@ -278,6 +278,7 @@ impl WlogSchedulingProblem<'_> {
 
 impl SearchProblem for WlogSchedulingProblem<'_> {
     type State = Vec<usize>;
+    type Scratch = ();
 
     fn initial(&self) -> Vec<usize> {
         vec![self.spec.cheapest_type(); self.wf.len()]

@@ -18,7 +18,9 @@
 
 use crate::scheduling::SchedulingProblem;
 use deco_cloud::{CloudSpec, MetadataStore, Plan};
-use deco_solver::{beam_search, EvalBackend, Evaluation, SearchOptions, SearchProblem, SearchResult};
+use deco_solver::{
+    beam_search, EvalBackend, Evaluation, SearchOptions, SearchProblem, SearchResult,
+};
 use deco_workflow::Ensemble;
 
 /// Per-member planning outcome feeding the admission search.
@@ -91,6 +93,7 @@ impl<'a> EnsembleProblem<'a> {
 
     /// Plan every member with the use-case-1 engine (reusable across
     /// budgets via [`EnsembleProblem::with_member_plans`]).
+    #[allow(clippy::too_many_arguments)]
     pub fn plan_members(
         ensemble: &Ensemble,
         spec: &CloudSpec,
@@ -142,6 +145,7 @@ impl<'a> EnsembleProblem<'a> {
 
 impl SearchProblem for EnsembleProblem<'_> {
     type State = Vec<bool>;
+    type Scratch = ();
 
     fn initial(&self) -> Vec<bool> {
         // "Initially, all dimensions are set to false."
@@ -226,7 +230,16 @@ mod tests {
             .iter()
             .map(|m| crate::estimate::deadline_anchors(&m.workflow, spec).1 * 1.5)
             .collect();
-        EnsembleProblem::new(e, spec, store, &deadlines, 0.9, budget, 40, &EvalBackend::SeqCpu)
+        EnsembleProblem::new(
+            e,
+            spec,
+            store,
+            &deadlines,
+            0.9,
+            budget,
+            40,
+            &EvalBackend::SeqCpu,
+        )
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use deco_cloud::plan::{exec_time_hist, Plan};
 use deco_cloud::{CloudSpec, MetadataStore};
 use deco_prob::rng::split_indexed;
-use deco_prob::{DecoRng, Histogram};
+use deco_prob::{BinSampler, DecoRng, Histogram};
 use deco_workflow::Workflow;
 
 /// Precomputed per-(task, type) execution-time histograms for one
@@ -100,10 +100,7 @@ pub fn sampled_schedule(
                 let from = plan.slots[p_slot];
                 let to = plan.slots[my_slot];
                 if from.region != to.region {
-                    at += deco_cloud::dynamics::phase_seconds_mean(
-                        bytes,
-                        &spec.cross_region_net(),
-                    );
+                    at += deco_cloud::dynamics::phase_seconds_mean(bytes, &spec.cross_region_net());
                     cross_bytes += bytes;
                 } else {
                     at += deco_cloud::dynamics::phase_seconds_mean(
@@ -129,12 +126,298 @@ pub fn sampled_schedule(
     let mut cost = deco_cloud::billing::CostLedger::default();
     for (slot, span) in plan.slots.iter().zip(&slot_span) {
         if let Some((a, b)) = span {
-            cost.add_instance(b - a, spec.billing_quantum, spec.price(slot.itype, slot.region));
+            cost.add_instance(
+                b - a,
+                spec.billing_quantum,
+                spec.price(slot.itype, slot.region),
+            );
         }
     }
     cost.add_transfer(cross_bytes, spec.inter_region_price_per_gb);
     let makespan = finish.iter().cloned().fold(0.0f64, f64::max);
     (makespan, cost.total())
+}
+
+/// A plan compiled for repeated Monte-Carlo realization: everything that
+/// does not depend on the sampled durations is hoisted out of the
+/// per-realization loop.
+///
+/// Per *plan* (once): the dispatch order (a full topological sort), the
+/// parent adjacency as a flat CSR array with each edge's constant transfer
+/// seconds baked in, the total cross-region traffic, per-slot prices, and
+/// a precomputed CDF sampler per task. Per *realization* (hot loop): one
+/// uniform draw + binary search per task, adds and maxes — no heap, no
+/// `dyn` dispatch, no allocation (buffers live in [`EvalScratch`]).
+///
+/// The arithmetic — addition order, max folds, the sampler's bin
+/// selection — exactly mirrors [`sampled_schedule`], so for the same RNG
+/// stream a compiled realization returns bit-for-bit the same
+/// `(makespan, cost)` as the reference. `estimate::tests` and
+/// `tests/properties.rs` enforce this.
+#[derive(Debug, Clone)]
+pub struct CompiledPlan {
+    n_tasks: usize,
+    n_slots: usize,
+    /// Tasks in dispatch order (`Plan::dispatch_order`, computed once).
+    order: Vec<u32>,
+    /// CSR row offsets into `parent_edges`, length `n_tasks + 1`, indexed
+    /// by task id.
+    parent_off: Vec<u32>,
+    /// `(parent task id, constant transfer seconds)` per dependency edge,
+    /// grouped by child task. Transfer time depends only on edge bytes and
+    /// the slot pair, never on sampled durations, so it is a per-plan
+    /// constant.
+    parent_edges: Vec<(u32, f64)>,
+    /// `assign[task]` = slot index, as `u32`.
+    assign: Vec<u32>,
+    /// CSR row offsets into `samp_cum`, length `n_tasks + 1`, indexed by
+    /// task id.
+    samp_off: Vec<u32>,
+    /// Every task's duration-histogram CDF (inclusive prefix sums, the
+    /// exact bits a [`BinSampler`] would hold — except each row's last
+    /// entry, which is rewritten to `+∞` so the count of entries `< u`
+    /// lands on the last bin by itself, exactly reproducing the clamped
+    /// `partition_point`), flattened into one contiguous array: the hot
+    /// loop walks a single allocation instead of chasing a per-task `Vec`
+    /// through the cache.
+    samp_cum: Vec<f64>,
+    /// `(lo, width)` bin geometry per task.
+    samp_geom: Vec<(f64, f64)>,
+    /// Hourly price of each slot (type × region resolved once).
+    slot_price: Vec<f64>,
+    billing_quantum: f64,
+    /// Total inter-region bytes — constant across realizations.
+    cross_bytes: f64,
+    inter_region_price_per_gb: f64,
+}
+
+/// Reusable buffers for [`CompiledPlan`] realizations. One scratch per
+/// worker thread makes the steady-state evaluation loop allocation-free;
+/// buffers grow to the largest (tasks, slots, iters) seen and are reused.
+#[derive(Debug, Clone, Default)]
+pub struct EvalScratch {
+    /// Finish time per task.
+    finish: Vec<f64>,
+    /// Next free time per slot.
+    slot_free: Vec<f64>,
+    /// `(first start, last finish)` per slot; `(INFINITY, NEG_INFINITY)`
+    /// marks an unused slot (equivalent to the reference's `None`).
+    slot_span: Vec<(f64, f64)>,
+    /// Sampled task durations of the current realization, indexed by
+    /// dispatch-order position.
+    durs: Vec<f64>,
+    /// Sampled makespans across the realizations of one evaluation.
+    makespans: Vec<f64>,
+}
+
+impl EvalScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, n_tasks: usize, n_slots: usize) {
+        // `finish` and `durs` need the right length but no refill: every
+        // entry is written before it is read (parents precede children in
+        // dispatch order; the sampling pass fills `durs` first).
+        self.finish.resize(n_tasks, 0.0);
+        self.durs.resize(n_tasks, 0.0);
+        self.slot_free.clear();
+        self.slot_free.resize(n_slots, 0.0);
+        self.slot_span.clear();
+        self.slot_span
+            .resize(n_slots, (f64::INFINITY, f64::NEG_INFINITY));
+    }
+}
+
+impl CompiledPlan {
+    /// Hoist every realization-invariant quantity out of `plan`. Costs one
+    /// topological sort plus O(tasks + edges + bins) — amortized over all
+    /// `iters` realizations of the state evaluation.
+    pub fn compile(wf: &Workflow, plan: &Plan, table: &ExecTimeTable, spec: &CloudSpec) -> Self {
+        let n_tasks = wf.len();
+        let n_slots = plan.slots.len();
+        let order: Vec<u32> = plan.dispatch_order(wf).into_iter().map(|t| t.0).collect();
+
+        let mut parent_off = Vec::with_capacity(n_tasks + 1);
+        let mut parent_edges = Vec::new();
+        let mut cross_bytes = 0.0f64;
+        // Iterate tasks in *dispatch order* so `cross_bytes` accumulates in
+        // exactly the order the reference evaluator adds it (f64 addition
+        // is not associative; same order → same bits). The CSR is indexed
+        // by task id, so rows are filled id-ordered below.
+        let mut edges_by_task: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n_tasks];
+        for &raw in &order {
+            let t = deco_workflow::TaskId(raw);
+            let my_slot = plan.assign[t.index()];
+            for p in wf.parents(t) {
+                let p_slot = plan.assign[p.index()];
+                let mut transfer = 0.0;
+                if p_slot != my_slot {
+                    let bytes = wf.edge_bytes(p, t).unwrap_or(0.0);
+                    let from = plan.slots[p_slot];
+                    let to = plan.slots[my_slot];
+                    if from.region != to.region {
+                        transfer = deco_cloud::dynamics::phase_seconds_mean(
+                            bytes,
+                            &spec.cross_region_net(),
+                        );
+                        cross_bytes += bytes;
+                    } else {
+                        transfer = deco_cloud::dynamics::phase_seconds_mean(
+                            bytes,
+                            &spec.pair_net(from.itype, to.itype),
+                        );
+                    }
+                }
+                edges_by_task[t.index()].push((p.0, transfer));
+            }
+        }
+        parent_off.push(0u32);
+        for row in &edges_by_task {
+            parent_edges.extend_from_slice(row);
+            parent_off.push(parent_edges.len() as u32);
+        }
+
+        let mut samp_off = Vec::with_capacity(n_tasks + 1);
+        let mut samp_cum = Vec::new();
+        let mut samp_geom = Vec::with_capacity(n_tasks);
+        samp_off.push(0u32);
+        for t in 0..n_tasks {
+            let s: BinSampler = table.hist(t, plan.slots[plan.assign[t]].itype).sampler();
+            samp_cum.extend_from_slice(s.cum());
+            // `index_for` clamps to the last bin when `u` exceeds the total
+            // mass; an infinite last entry folds that clamp into the count
+            // itself (`∞ < u` is never true, and once every finite entry is
+            // below `u` the count is already len - 1).
+            *samp_cum.last_mut().expect("histogram has at least one bin") = f64::INFINITY;
+            samp_geom.push((s.lo(), s.width()));
+            samp_off.push(samp_cum.len() as u32);
+        }
+        let slot_price: Vec<f64> = plan
+            .slots
+            .iter()
+            .map(|s| spec.price(s.itype, s.region))
+            .collect();
+
+        CompiledPlan {
+            n_tasks,
+            n_slots,
+            order,
+            parent_off,
+            parent_edges,
+            assign: plan.assign.iter().map(|&s| s as u32).collect(),
+            samp_off,
+            samp_cum,
+            samp_geom,
+            slot_price,
+            billing_quantum: spec.billing_quantum,
+            cross_bytes,
+            inter_region_price_per_gb: spec.inter_region_price_per_gb,
+        }
+    }
+
+    pub fn n_tasks(&self) -> usize {
+        self.n_tasks
+    }
+
+    /// One Monte-Carlo realization — the compiled equivalent of
+    /// [`sampled_schedule`], allocation-free given a scratch.
+    pub fn realize(&self, scratch: &mut EvalScratch, rng: &mut DecoRng) -> (f64, f64) {
+        scratch.reset(self.n_tasks, self.n_slots);
+        let finish = &mut scratch.finish[..];
+        let slot_free = &mut scratch.slot_free[..];
+        let slot_span = &mut scratch.slot_span[..];
+
+        // Pass 1 — draw every task's duration, in dispatch order (one `u`
+        // per task: exactly the stream the reference consumes). Inlined
+        // `BinSampler::sample`: counting the CDF entries below `u` over a
+        // non-decreasing row equals the clamped `partition_point` (the
+        // row's last entry is `+∞`, see `compile`) — same bin, same center
+        // — but compiles branch-free, and keeping the draws in their own
+        // pass frees them from the schedule's dependency chain.
+        let durs = &mut scratch.durs[..];
+        for (i, &raw) in self.order.iter().enumerate() {
+            let t = raw as usize;
+            let u: f64 = rand::Rng::gen(rng);
+            let row = &self.samp_cum[self.samp_off[t] as usize..self.samp_off[t + 1] as usize];
+            let mut bin = 0usize;
+            for &c in row {
+                bin += (c < u) as usize;
+            }
+            let (blo, bw) = self.samp_geom[t];
+            durs[i] = (blo + (bin as f64 + 0.5) * bw).max(0.0);
+        }
+
+        // Pass 2 — the schedule itself.
+        let mut makespan = 0.0f64;
+        for (i, &raw) in self.order.iter().enumerate() {
+            let t = raw as usize;
+            let my_slot = self.assign[t] as usize;
+            let mut ready = 0.0f64;
+            let lo = self.parent_off[t] as usize;
+            let hi = self.parent_off[t + 1] as usize;
+            for &(p, transfer) in &self.parent_edges[lo..hi] {
+                ready = ready.max(finish[p as usize] + transfer);
+            }
+            let start = ready.max(slot_free[my_slot]);
+            let end = start + durs[i];
+            finish[t] = end;
+            slot_free[my_slot] = end;
+            let (a, b) = slot_span[my_slot];
+            slot_span[my_slot] = (a.min(start), b.max(end));
+            // `max` over non-negative floats is order-independent, so
+            // folding in dispatch order here gives the identical value to
+            // the reference's id-order pass over `finish`.
+            makespan = makespan.max(end);
+        }
+
+        let mut cost = deco_cloud::billing::CostLedger::default();
+        for (i, &(a, b)) in slot_span.iter().enumerate() {
+            if a <= b {
+                cost.add_instance(b - a, self.billing_quantum, self.slot_price[i]);
+            }
+        }
+        cost.add_transfer(self.cross_bytes, self.inter_region_price_per_gb);
+        (makespan, cost.total())
+    }
+
+    /// Monte-Carlo evaluation over `iters` realizations — Algorithm 1 on
+    /// the compiled fast path. Identical results to [`mc_evaluate_plan`]
+    /// for the same arguments and seed.
+    pub fn mc_evaluate(
+        &self,
+        spec_deadline: f64,
+        percentile: f64,
+        iters: usize,
+        seed: u64,
+        scratch: &mut EvalScratch,
+    ) -> McEval {
+        assert!(iters > 0);
+        let mut rng: DecoRng = split_indexed(seed, 0x65737431);
+        let mut hits = 0usize;
+        let mut cost_sum = 0.0;
+        scratch.makespans.clear();
+        for _ in 0..iters {
+            // `realize` borrows the other scratch buffers; `makespans`
+            // stays out of its way.
+            let mut makespans = std::mem::take(&mut scratch.makespans);
+            let (makespan, cost) = self.realize(scratch, &mut rng);
+            if makespan <= spec_deadline {
+                hits += 1;
+            }
+            cost_sum += cost;
+            makespans.push(makespan);
+            scratch.makespans = makespans;
+        }
+        McEval {
+            prob: hits as f64 / iters as f64,
+            mean_cost: cost_sum / iters as f64,
+            quantile_makespan: deco_prob::stats::quantile(
+                &scratch.makespans,
+                percentile.clamp(0.0, 1.0),
+            ),
+        }
+    }
 }
 
 /// Monte-Carlo evaluation of a plan over `iters` realizations (Algorithm 1
@@ -152,7 +435,61 @@ pub struct McEval {
 
 /// Monte-Carlo evaluation of a plan: deadline probability, mean cost and
 /// the `percentile`-quantile makespan.
+///
+/// Compiles the plan once and runs the fast realization loop; callers that
+/// evaluate many states should hold an [`EvalScratch`] and use
+/// [`mc_evaluate_plan_scratch`] to also skip the per-call allocations.
+#[allow(clippy::too_many_arguments)]
 pub fn mc_evaluate_plan(
+    wf: &Workflow,
+    plan: &Plan,
+    table: &ExecTimeTable,
+    spec: &CloudSpec,
+    deadline: f64,
+    percentile: f64,
+    iters: usize,
+    seed: u64,
+) -> McEval {
+    let mut scratch = EvalScratch::new();
+    mc_evaluate_plan_scratch(
+        wf,
+        plan,
+        table,
+        spec,
+        deadline,
+        percentile,
+        iters,
+        seed,
+        &mut scratch,
+    )
+}
+
+/// [`mc_evaluate_plan`] with caller-provided scratch buffers: the
+/// steady-state path for search loops (one scratch per worker thread,
+/// zero allocation per evaluated state beyond the compiled plan itself).
+#[allow(clippy::too_many_arguments)]
+pub fn mc_evaluate_plan_scratch(
+    wf: &Workflow,
+    plan: &Plan,
+    table: &ExecTimeTable,
+    spec: &CloudSpec,
+    deadline: f64,
+    percentile: f64,
+    iters: usize,
+    seed: u64,
+    scratch: &mut EvalScratch,
+) -> McEval {
+    let compiled = CompiledPlan::compile(wf, plan, table, spec);
+    compiled.mc_evaluate(deadline, percentile, iters, seed, scratch)
+}
+
+/// The pre-compilation evaluator, retained as the executable spec of
+/// Algorithm 1: a fresh topological sort, per-edge transfer computation
+/// and O(bins) linear-scan sampling in every realization. The property
+/// tests pin [`CompiledPlan`] to this loop realization-for-realization;
+/// the `mc_eval` bench measures the speedup against it.
+#[allow(clippy::too_many_arguments)]
+pub fn mc_evaluate_plan_reference(
     wf: &Workflow,
     plan: &Plan,
     table: &ExecTimeTable,
@@ -261,9 +598,11 @@ mod tests {
         let table = ExecTimeTable::build(&wf, &store, 12);
         let plan = Plan::packed(&wf, &vec![0; wf.len()], 0, &spec);
         let reference = deco_cloud::plan::mean_schedule(&wf, &plan, &spec).makespan;
-        let p_tight = mc_evaluate_plan(&wf, &plan, &table, &spec, reference * 0.7, 0.9, 200, 1).prob;
+        let p_tight =
+            mc_evaluate_plan(&wf, &plan, &table, &spec, reference * 0.7, 0.9, 200, 1).prob;
         let p_mid = mc_evaluate_plan(&wf, &plan, &table, &spec, reference, 0.9, 200, 1).prob;
-        let p_loose = mc_evaluate_plan(&wf, &plan, &table, &spec, reference * 1.5, 0.9, 200, 1).prob;
+        let p_loose =
+            mc_evaluate_plan(&wf, &plan, &table, &spec, reference * 1.5, 0.9, 200, 1).prob;
         assert!(p_tight <= p_mid && p_mid <= p_loose);
         assert!(p_loose > 0.9, "generous deadline should almost surely hold");
         assert!(p_tight < 0.5, "70% of the mean should usually be missed");
@@ -275,6 +614,88 @@ mod tests {
         let (dmin, dmax) = deadline_anchors(&wf, &spec);
         assert!(dmin < dmax);
         assert!(dmin > 0.0);
+    }
+
+    #[test]
+    fn compiled_evaluator_matches_reference_exactly() {
+        let (wf, spec, store) = setup();
+        let table = ExecTimeTable::build(&wf, &store, 12);
+        for ty in 0..3usize {
+            let plan = Plan::packed(&wf, &vec![ty; wf.len()], 0, &spec);
+            for seed in [0u64, 7, 99] {
+                let a = mc_evaluate_plan_reference(&wf, &plan, &table, &spec, 900.0, 0.9, 64, seed);
+                let b = mc_evaluate_plan(&wf, &plan, &table, &spec, 900.0, 0.9, 64, seed);
+                assert_eq!(a, b, "compiled evaluator diverged (type {ty}, seed {seed})");
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_realizations_match_reference_stream() {
+        // Realization-for-realization: the same RNG stream pushed through
+        // both loops yields identical (makespan, cost) pairs.
+        let (wf, spec, store) = setup();
+        let table = ExecTimeTable::build(&wf, &store, 10);
+        let plan = Plan::packed(&wf, &vec![1; wf.len()], 0, &spec);
+        let compiled = CompiledPlan::compile(&wf, &plan, &table, &spec);
+        let mut scratch = EvalScratch::new();
+        let mut r_ref = deco_prob::rng::seeded(42);
+        let mut r_fast = deco_prob::rng::seeded(42);
+        for i in 0..100 {
+            let a = sampled_schedule(&wf, &plan, &table, &spec, &mut r_ref);
+            let b = compiled.realize(&mut scratch, &mut r_fast);
+            assert_eq!(a, b, "realization {i} diverged");
+        }
+    }
+
+    #[test]
+    fn dispatch_order_computed_once_per_compiled_plan() {
+        let (wf, spec, store) = setup();
+        let table = ExecTimeTable::build(&wf, &store, 12);
+        let plan = Plan::packed(&wf, &vec![1; wf.len()], 0, &spec);
+        let before = deco_cloud::plan::dispatch_order_calls_on_this_thread();
+        let compiled = CompiledPlan::compile(&wf, &plan, &table, &spec);
+        let mut scratch = EvalScratch::new();
+        let _ = compiled.mc_evaluate(900.0, 0.9, 200, 3, &mut scratch);
+        let after = deco_cloud::plan::dispatch_order_calls_on_this_thread();
+        assert_eq!(
+            after - before,
+            1,
+            "200 realizations must reuse one topological sort"
+        );
+        // The reference loop, by contrast, sorts once per realization.
+        let before = deco_cloud::plan::dispatch_order_calls_on_this_thread();
+        let _ = mc_evaluate_plan_reference(&wf, &plan, &table, &spec, 900.0, 0.9, 10, 3);
+        let after = deco_cloud::plan::dispatch_order_calls_on_this_thread();
+        assert_eq!(after - before, 10);
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_plans_of_different_shape() {
+        let spec = CloudSpec::amazon_ec2();
+        let store = MetadataStore::from_ground_truth(spec.clone(), 20);
+        let mut scratch = EvalScratch::new();
+        for (wf, iters) in [
+            (generators::ligo(20, 1), 50usize),
+            (generators::montage(1, 3), 80),
+            (generators::ligo(40, 2), 30),
+        ] {
+            let table = ExecTimeTable::build(&wf, &store, 8);
+            let plan = Plan::packed(&wf, &vec![0; wf.len()], 0, &spec);
+            let fresh = mc_evaluate_plan(&wf, &plan, &table, &spec, 700.0, 0.9, iters, 5);
+            let reused = mc_evaluate_plan_scratch(
+                &wf,
+                &plan,
+                &table,
+                &spec,
+                700.0,
+                0.9,
+                iters,
+                5,
+                &mut scratch,
+            );
+            assert_eq!(fresh, reused, "dirty scratch changed a verdict");
+        }
     }
 
     #[test]

@@ -24,7 +24,9 @@
 use deco_cloud::plan::{mean_exec_seconds, VmSlot};
 use deco_cloud::sim::{RuntimePolicy, Simulation};
 use deco_cloud::CloudSpec;
-use deco_solver::{generic_search, EvalBackend, Evaluation, SearchOptions, SearchProblem, SearchResult};
+use deco_solver::{
+    generic_search, EvalBackend, Evaluation, SearchOptions, SearchProblem, SearchResult,
+};
 use deco_workflow::{TaskId, Workflow};
 
 /// A snapshot of one workflow's remaining work, extracted at a decision
@@ -176,6 +178,7 @@ impl FollowCostProblem<'_> {
 
 impl SearchProblem for FollowCostProblem<'_> {
     type State = Vec<usize>;
+    type Scratch = ();
 
     fn initial(&self) -> Vec<usize> {
         self.snapshots.iter().map(|s| s.current_region).collect()
@@ -257,8 +260,7 @@ impl DecoFollowCost {
 
 impl RuntimePolicy for DecoFollowCost {
     fn replan(&mut self, sim: &mut Simulation<'_>, wf: &Workflow) {
-        let Some(snap) =
-            WorkflowSnapshot::capture(sim, wf, &self.spec, &self.types, self.deadline)
+        let Some(snap) = WorkflowSnapshot::capture(sim, wf, &self.spec, &self.types, self.deadline)
         else {
             return;
         };
@@ -286,7 +288,13 @@ impl RuntimePolicy for DecoFollowCost {
             }
             for (_, tasks) in by_slot {
                 let itype = self.types[tasks[0].index()];
-                sim.reassign_group(&tasks, VmSlot { itype, region: target });
+                sim.reassign_group(
+                    &tasks,
+                    VmSlot {
+                        itype,
+                        region: target,
+                    },
+                );
             }
         }
     }

@@ -7,7 +7,7 @@
 //! is evaluated by Monte Carlo over the calibrated execution-time
 //! distributions.
 
-use crate::estimate::{mc_evaluate_plan, ExecTimeTable};
+use crate::estimate::{mc_evaluate_plan_scratch, EvalScratch, ExecTimeTable};
 use deco_cloud::{CloudSpec, MetadataStore, Plan};
 
 /// Which monetary objective the search minimizes.
@@ -21,7 +21,10 @@ pub enum ObjectiveMode {
     FractionalMean,
 }
 use deco_solver::transform::{schedule_neighbors, TypeState};
-use deco_solver::{astar_search, beam_search, generic_search, EvalBackend, Evaluation, SearchOptions, SearchProblem, SearchResult};
+use deco_solver::{
+    astar_search, beam_search, generic_search, EvalBackend, Evaluation, SearchOptions,
+    SearchProblem, SearchResult,
+};
 use deco_workflow::Workflow;
 
 /// The scheduling problem instance.
@@ -119,6 +122,7 @@ impl<'a> SchedulingProblem<'a> {
 
 impl SearchProblem for SchedulingProblem<'_> {
     type State = TypeState;
+    type Scratch = EvalScratch;
 
     fn initial(&self) -> TypeState {
         // All tasks on the cheapest type (Figure 5b's initial state).
@@ -130,8 +134,12 @@ impl SearchProblem for SchedulingProblem<'_> {
     }
 
     fn evaluate(&self, s: &TypeState, seed: u64) -> Evaluation {
+        self.evaluate_with(s, seed, &mut EvalScratch::new())
+    }
+
+    fn evaluate_with(&self, s: &TypeState, seed: u64, scratch: &mut EvalScratch) -> Evaluation {
         let plan = self.plan_of(s);
-        let e = mc_evaluate_plan(
+        let e = mc_evaluate_plan_scratch(
             self.wf,
             &plan,
             &self.table,
@@ -140,6 +148,7 @@ impl SearchProblem for SchedulingProblem<'_> {
             self.percentile,
             self.mc_iters,
             seed,
+            scratch,
         );
         // The margin is a *continuous* proximity signal: the ratio of the
         // deadline to the p-th-quantile makespan. It equals/exceeds 1 when
@@ -156,9 +165,7 @@ impl SearchProblem for SchedulingProblem<'_> {
             ObjectiveMode::FractionalMean => s
                 .iter()
                 .enumerate()
-                .map(|(i, &ty)| {
-                    self.table.mean(i, ty) / 3600.0 * self.spec.price(ty, self.region)
-                })
+                .map(|(i, &ty)| self.table.mean(i, ty) / 3600.0 * self.spec.price(ty, self.region))
                 .sum(),
         };
         Evaluation {
@@ -221,6 +228,40 @@ mod tests {
         assert!(eval.constraint_margin >= 0.9);
         let plan = p.plan_of(&state);
         plan.validate(&wf, &spec).unwrap();
+    }
+
+    #[test]
+    fn backends_agree_on_batched_scheduling_evaluations() {
+        // The scratch-carrying fast path must stay backend-invariant: a
+        // batch evaluated sequentially, on the multi-core model and on the
+        // GPU model — with workers stealing states in different
+        // interleavings and reusing dirty scratches — returns identical
+        // evaluations for identical (state, seed).
+        use deco_solver::eval::evaluate_batch;
+        let wf = generators::montage(1, 11);
+        let (spec, store) = setup(&wf);
+        let d = medium_deadline(&wf, &spec);
+        let mut p = SchedulingProblem::new(&wf, &spec, &store, d, 0.9);
+        p.mc_iters = 40;
+        let states: Vec<_> = (0..4)
+            .flat_map(|ty| {
+                let s = vec![ty; wf.len()];
+                let mut n = p.neighbors(&s);
+                n.truncate(3);
+                n.push(s);
+                n
+            })
+            .collect();
+        let (seq, _) = evaluate_batch(&p, &states, &EvalBackend::SeqCpu, 77);
+        let (par, _) = evaluate_batch(&p, &states, &EvalBackend::ParCpu(6), 77);
+        let (gpu, _) = evaluate_batch(
+            &p,
+            &states,
+            &EvalBackend::SimGpu(deco_gpu::DeviceSpec::k40()),
+            77,
+        );
+        assert_eq!(seq, par);
+        assert_eq!(seq, gpu);
     }
 
     #[test]

@@ -101,7 +101,10 @@ mod tests {
         assert_eq!(d.spill_factor(1024), 1.0);
         assert_eq!(d.spill_factor(48 * 1024), 1.0);
         let f = d.spill_factor(96 * 1024);
-        assert!((f - 2.0).abs() < 1e-9, "double the working set -> 2x penalty");
+        assert!(
+            (f - 2.0).abs() < 1e-9,
+            "double the working set -> 2x penalty"
+        );
         assert!(d.spill_factor(144 * 1024) > f);
     }
 }

@@ -57,6 +57,34 @@ pub fn launch<S: Sync, R: Send>(
     block_bytes: usize,
     block_fn: impl Fn(&S, usize) -> R + Sync,
 ) -> LaunchReport<R> {
+    launch_with(
+        device,
+        inputs,
+        threads_per_block,
+        block_bytes,
+        || (),
+        |s, b, ()| block_fn(s, b),
+    )
+}
+
+/// [`launch`] with per-worker mutable state: `worker_init()` runs once on
+/// each worker thread and the resulting value is threaded through every
+/// block that worker executes.
+///
+/// This is how evaluation scratch buffers (see `deco-core`'s
+/// `EvalScratch`) are reused across the blocks of a batch without
+/// allocation and without sharing: one scratch per worker, not per block.
+/// Block results must not depend on the scratch's prior contents (workers
+/// steal blocks dynamically), which the scratch-reuse tests in `deco-core`
+/// and `deco-solver` enforce.
+pub fn launch_with<S: Sync, R: Send, W>(
+    device: &DeviceSpec,
+    inputs: &[S],
+    threads_per_block: usize,
+    block_bytes: usize,
+    worker_init: impl Fn() -> W + Sync,
+    block_fn: impl Fn(&S, usize, &mut W) -> R + Sync,
+) -> LaunchReport<R> {
     assert!(threads_per_block > 0, "empty blocks");
     let n = inputs.len();
     let workers = device
@@ -73,7 +101,9 @@ pub fn launch<S: Sync, R: Send>(
             .map(|_| {
                 let next = &next;
                 let block_fn = &block_fn;
+                let worker_init = &worker_init;
                 scope.spawn(move |_| {
+                    let mut scratch = worker_init();
                     let mut mine = Vec::new();
                     loop {
                         let b = next.fetch_add(1, Ordering::Relaxed);
@@ -81,7 +111,7 @@ pub fn launch<S: Sync, R: Send>(
                             return mine;
                         }
                         let t0 = Instant::now();
-                        let value = block_fn(&inputs[b], b);
+                        let value = block_fn(&inputs[b], b, &mut scratch);
                         mine.push(BlockResult {
                             block: b,
                             value,
@@ -157,6 +187,22 @@ mod tests {
         let report = launch(&d, &[7u32], 192, 100, |&x, _| x + 1);
         assert_eq!(report.timing.waves, 1);
         assert_eq!(report.values(), vec![8]);
+    }
+
+    #[test]
+    fn worker_state_is_reused_not_shared() {
+        let d = DeviceSpec::cpu(4);
+        let inputs: Vec<u64> = (0..32).collect();
+        // Each block records how many blocks its worker ran before it; the
+        // result must still be block-deterministic in the payload.
+        let report = launch_with(&d, &inputs, 4, 0, Vec::<u64>::new, |&x, _, seen| {
+            seen.push(x);
+            x * 3
+        });
+        assert_eq!(
+            report.values(),
+            (0..32).map(|x| x * 3).collect::<Vec<u64>>()
+        );
     }
 
     #[test]

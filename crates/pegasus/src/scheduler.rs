@@ -74,7 +74,13 @@ impl Scheduler for SingleTypeScheduler {
     ) -> Option<Plan> {
         // Same 15% variance reserve as the Deco planner, so Figure 1
         // compares type choices, not packing headroom.
-        Some(single_type_plan(wf, spec, self.itype, 0, req.deadline * 0.85))
+        Some(single_type_plan(
+            wf,
+            spec,
+            self.itype,
+            0,
+            req.deadline * 0.85,
+        ))
     }
 }
 
@@ -189,8 +195,11 @@ mod tests {
             Box::new(AutoscalingScheduler),
         ];
         for s in schedulers {
-            let plan = s.schedule(&wf, &spec, &store, r).expect(s.name());
-            plan.validate(&wf, &spec).unwrap_or_else(|e| panic!("{}: {e}", s.name()));
+            let plan = s
+                .schedule(&wf, &spec, &store, r)
+                .unwrap_or_else(|| panic!("{}", s.name()));
+            plan.validate(&wf, &spec)
+                .unwrap_or_else(|e| panic!("{}: {e}", s.name()));
         }
     }
 

@@ -161,7 +161,9 @@ impl CampaignReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scheduler::{AutoscalingScheduler, DecoScheduler, RandomScheduler, SingleTypeScheduler};
+    use crate::scheduler::{
+        AutoscalingScheduler, DecoScheduler, RandomScheduler, SingleTypeScheduler,
+    };
     use deco_workflow::dax::emit_dax;
     use deco_workflow::generators;
 
@@ -236,7 +238,9 @@ mod tests {
         let mut sched = DecoScheduler::default();
         sched.options.mc_iters = 60;
         let deco_exe = wms.plan(&wf, &sched, r).expect("deco feasible");
-        let auto_exe = wms.plan(&wf, &AutoscalingScheduler, r).expect("autoscaling");
+        let auto_exe = wms
+            .plan(&wf, &AutoscalingScheduler, r)
+            .expect("autoscaling");
         let deco = wms.run_many(&deco_exe, r, "deco", 30, 13);
         let auto = wms.run_many(&auto_exe, r, "autoscaling", 30, 13);
         assert!(

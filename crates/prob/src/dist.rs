@@ -308,7 +308,10 @@ pub struct Pareto {
 
 impl Pareto {
     pub fn new(xm: f64, alpha: f64) -> Self {
-        assert!(xm > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+        assert!(
+            xm > 0.0 && alpha > 0.0,
+            "pareto parameters must be positive"
+        );
         Self { xm, alpha }
     }
 }

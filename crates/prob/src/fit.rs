@@ -23,7 +23,10 @@ pub fn fit_gamma(samples: &[f64]) -> Gamma {
     assert!(samples.len() >= 2, "need at least two samples to fit");
     let m = stats::mean(samples);
     let v = stats::variance(samples);
-    assert!(m > 0.0 && v > 0.0, "gamma fit needs positive mean and variance");
+    assert!(
+        m > 0.0 && v > 0.0,
+        "gamma fit needs positive mean and variance"
+    );
     Gamma::new(m * m / v, v / m)
 }
 
@@ -161,7 +164,11 @@ mod tests {
         let truth = Normal::new(0.0, 1.0);
         let samples = draw(&truth, 5000, 13);
         let t = chi_square_gof(&samples, &truth, 20, 0);
-        assert!(t.accepts(0.01), "p-value {} too small for true model", t.p_value);
+        assert!(
+            t.accepts(0.01),
+            "p-value {} too small for true model",
+            t.p_value
+        );
     }
 
     #[test]

@@ -55,7 +55,10 @@ impl Histogram {
     /// sample range. This is what the calibration micro-benchmarks do with
     /// their measurements before storing them in the metadata store.
     pub fn from_samples(samples: &[f64], bins: usize) -> Self {
-        assert!(!samples.is_empty(), "cannot build a histogram from no samples");
+        assert!(
+            !samples.is_empty(),
+            "cannot build a histogram from no samples"
+        );
         assert!(bins > 0);
         let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
@@ -146,7 +149,10 @@ impl Histogram {
     /// Iterate `(center, mass)` pairs — the `p_j : exetime(..., T_j)` facts
     /// of the probabilistic IR.
     pub fn points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
-        self.probs.iter().enumerate().map(|(i, &p)| (self.center(i), p))
+        self.probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (self.center(i), p))
     }
 
     /// Support bounds `[lo, hi]`.
@@ -266,6 +272,136 @@ impl Histogram {
         let points: Vec<(f64, f64)> = self.points().collect();
         Histogram::from_weighted_points(&points, bins)
     }
+
+    /// Precompute a [`BinSampler`] for this histogram — the fast path for
+    /// Monte-Carlo loops that draw from the same histogram many times.
+    pub fn sampler(&self) -> BinSampler {
+        BinSampler {
+            cdf: CdfSampler::from_probs(self.probs.iter().copied()),
+            lo: self.lo,
+            width: self.width,
+        }
+    }
+}
+
+/// Precomputed cumulative-distribution sampler over a discrete set of
+/// weights: one uniform draw plus a binary search per sample, no `dyn`
+/// dispatch.
+///
+/// The cumulative array is built with the same left-to-right additions as
+/// the linear scans in [`Histogram::sample`] and the probabilistic IR's
+/// annotated-disjunction sampling, and `index_for` returns the first index
+/// whose cumulative mass reaches `u` — so for any given `u` this sampler
+/// selects *bit-for-bit* the same alternative as the O(n) scan it
+/// replaces. That equivalence is what lets the compiled Monte-Carlo
+/// evaluator reproduce the reference evaluator realization-for-realization
+/// under the same seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CdfSampler {
+    /// Inclusive prefix sums of the (normalized) weights.
+    cum: Vec<f64>,
+}
+
+impl CdfSampler {
+    /// Build from probability masses (assumed normalized, like
+    /// `Histogram::probs`; un-normalized weights also work as long as the
+    /// uniform draw is scaled accordingly by the caller — the samplers in
+    /// this workspace always pass normalized masses).
+    pub fn from_probs(probs: impl IntoIterator<Item = f64>) -> Self {
+        let mut acc = 0.0;
+        let cum: Vec<f64> = probs
+            .into_iter()
+            .map(|p| {
+                acc += p;
+                acc
+            })
+            .collect();
+        assert!(!cum.is_empty(), "sampler needs at least one alternative");
+        CdfSampler { cum }
+    }
+
+    /// Number of alternatives.
+    pub fn len(&self) -> usize {
+        self.cum.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cum.is_empty()
+    }
+
+    /// The alternative selected by uniform draw `u`: the first index whose
+    /// cumulative mass is `>= u`, clamped to the last alternative when
+    /// rounding leaves `u` above the total mass (exactly the linear scan's
+    /// fall-through).
+    #[inline]
+    pub fn index_for(&self, u: f64) -> usize {
+        let i = self.cum.partition_point(|&c| c < u);
+        i.min(self.cum.len() - 1)
+    }
+
+    /// Draw an alternative: consumes one `f64` from `rng`, same as the
+    /// linear scans this replaces.
+    #[inline]
+    pub fn sample_index<R: rand::RngCore>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.index_for(u)
+    }
+
+    /// The inclusive prefix sums (non-decreasing). Exposed so callers can
+    /// flatten many samplers into one contiguous table — the compiled
+    /// Monte-Carlo evaluator does this for cache locality; selecting the
+    /// count of entries `< u` over such a row (see [`index_for`], clamped)
+    /// reproduces this sampler exactly.
+    ///
+    /// [`index_for`]: CdfSampler::index_for
+    pub fn cum(&self) -> &[f64] {
+        &self.cum
+    }
+}
+
+/// A [`CdfSampler`] plus bin geometry: draws bin centers from a
+/// [`Histogram`] in O(log bins), monomorphized over the RNG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinSampler {
+    cdf: CdfSampler,
+    lo: f64,
+    width: f64,
+}
+
+impl BinSampler {
+    /// Center value of bin `i` (same geometry as [`Histogram::center`]).
+    #[inline]
+    pub fn center(&self, i: usize) -> f64 {
+        self.lo + (i as f64 + 0.5) * self.width
+    }
+
+    /// Fast equivalent of [`Histogram::sample_bin`].
+    #[inline]
+    pub fn sample_bin<R: rand::RngCore>(&self, rng: &mut R) -> usize {
+        self.cdf.sample_index(rng)
+    }
+
+    /// Fast equivalent of [`Histogram::sample`]: identical draw, identical
+    /// bin selection, identical center value.
+    #[inline]
+    pub fn sample<R: rand::RngCore>(&self, rng: &mut R) -> f64 {
+        self.center(self.sample_bin(rng))
+    }
+
+    /// The underlying CDF prefix sums (see [`CdfSampler::cum`]).
+    pub fn cum(&self) -> &[f64] {
+        self.cdf.cum()
+    }
+
+    /// Lower support bound of bin 0.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Bin width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
 }
 
 #[cfg(test)]
@@ -328,6 +464,55 @@ mod tests {
     }
 
     #[test]
+    fn sampler_agrees_with_linear_scan_bit_for_bit() {
+        // The compiled evaluator's correctness proof rests on this: for
+        // identical RNG streams, the precomputed CDF sampler must select
+        // exactly the bins the O(n) scan selects.
+        for seed in 0..20u64 {
+            let mut mass_rng = seeded(1000 + seed);
+            use rand::Rng;
+            let bins = 1 + (mass_rng.gen::<f64>() * 40.0) as usize;
+            let masses: Vec<f64> = (0..bins).map(|_| mass_rng.gen::<f64>() + 1e-9).collect();
+            let h = Histogram::new(-3.0, 0.7, masses);
+            let s = h.sampler();
+            let mut ra = seeded(seed);
+            let mut rb = seeded(seed);
+            for _ in 0..500 {
+                let a = h.sample(&mut ra);
+                let b = s.sample(&mut rb);
+                assert!(a == b, "sampler diverged from linear scan: {a} vs {b}");
+            }
+            let mut ra = seeded(seed ^ 0xABCD);
+            let mut rb = seeded(seed ^ 0xABCD);
+            for _ in 0..500 {
+                assert_eq!(h.sample_bin(&mut ra), s.sample_bin(&mut rb));
+            }
+        }
+    }
+
+    #[test]
+    fn sampler_clamps_to_last_bin_on_full_mass_draw() {
+        let h = Histogram::new(0.0, 1.0, vec![1.0, 1.0]);
+        let s = h.sampler();
+        // u = 1.0 can exceed the floating-point total mass; both paths
+        // must fall through to the last bin rather than index out of range.
+        assert_eq!(s.cdf.index_for(1.0), 1);
+        assert_eq!(s.cdf.index_for(0.0), 0);
+    }
+
+    #[test]
+    fn cdf_sampler_matches_expected_frequencies() {
+        let s = CdfSampler::from_probs([0.5, 0.25, 0.25]);
+        let mut rng = seeded(11);
+        let mut counts = [0usize; 3];
+        for _ in 0..20_000 {
+            counts[s.sample_index(&mut rng)] += 1;
+        }
+        assert!((counts[0] as f64 / 20_000.0 - 0.5).abs() < 0.02);
+        assert!((counts[1] as f64 / 20_000.0 - 0.25).abs() < 0.02);
+    }
+
+    #[test]
     fn percentile_is_monotone_and_bounded() {
         let d = Normal::new(0.0, 1.0);
         let h = Histogram::from_dist(&d, 80, 5.0, None);
@@ -372,7 +557,10 @@ mod tests {
         let a = Histogram::from_dist(&Normal::new(10.0, 3.0), 40, 4.0, None);
         let b = Histogram::from_dist(&Normal::new(10.0, 3.0), 40, 4.0, None);
         let m = a.max_with(&b);
-        assert!(m.mean() > a.mean(), "E[max(X,Y)] > E[X] for iid non-degenerate");
+        assert!(
+            m.mean() > a.mean(),
+            "E[max(X,Y)] > E[X] for iid non-degenerate"
+        );
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 pub mod dist;
 pub mod fit;
+pub mod hash;
 pub mod hist;
 pub mod math;
 pub mod mc;
@@ -32,5 +33,5 @@ pub mod rng;
 pub mod stats;
 
 pub use dist::{Constant, Dist, Exponential, Gamma, Normal, Pareto, TruncatedNormal, Uniform};
-pub use hist::Histogram;
+pub use hist::{BinSampler, CdfSampler, Histogram};
 pub use rng::DecoRng;

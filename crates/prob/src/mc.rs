@@ -24,7 +24,11 @@ impl Estimate {
 }
 
 /// Estimate the mean of `f` over `iters` draws.
-pub fn estimate_mean(iters: usize, rng: &mut dyn RngCore, mut f: impl FnMut(&mut dyn RngCore) -> f64) -> Estimate {
+pub fn estimate_mean(
+    iters: usize,
+    rng: &mut dyn RngCore,
+    mut f: impl FnMut(&mut dyn RngCore) -> f64,
+) -> Estimate {
     assert!(iters > 0, "need at least one iteration");
     let mut sum = 0.0;
     let mut sum_sq = 0.0;
@@ -84,9 +88,7 @@ mod tests {
     #[test]
     fn mean_of_uniform_is_half() {
         let mut rng = seeded(21);
-        let est = estimate_mean(50_000, &mut rng, |r| {
-            r.next_u64() as f64 / u64::MAX as f64
-        });
+        let est = estimate_mean(50_000, &mut rng, |r| r.next_u64() as f64 / u64::MAX as f64);
         assert!((est.value - 0.5).abs() < 4.0 * est.std_error + 1e-3);
     }
 

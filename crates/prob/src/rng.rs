@@ -34,7 +34,9 @@ pub fn split(parent: &mut DecoRng) -> DecoRng {
 /// Monte-Carlo block) so that the stream does not depend on the order in
 /// which siblings are created.
 pub fn split_indexed(root_seed: u64, index: u64) -> DecoRng {
-    SmallRng::seed_from_u64(splitmix64(root_seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    SmallRng::seed_from_u64(splitmix64(
+        root_seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    ))
 }
 
 /// SplitMix64 finalizer: a bijective mixer with good avalanche behaviour,

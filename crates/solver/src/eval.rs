@@ -8,7 +8,8 @@
 //! evaluation time, from which the Section 6.3 speedups are reported.
 
 use crate::SearchProblem;
-use deco_gpu::{launch, DeviceSpec};
+use deco_gpu::{launch_with, DeviceSpec};
+use deco_prob::hash::StableHasher;
 use deco_prob::rng::splitmix64;
 use std::hash::{Hash, Hasher};
 
@@ -61,9 +62,12 @@ impl EvalBackend {
 }
 
 /// Deterministic per-state seed: the search must give the same verdict for
-/// the same state no matter when it is reached.
+/// the same state no matter when it is reached — and no matter which Rust
+/// release built the binary, which is why this uses [`StableHasher`]
+/// (fixed FNV-1a/SplitMix64) rather than `DefaultHasher`, whose algorithm
+/// may change between toolchains.
 pub fn state_seed<S: Hash>(root_seed: u64, state: &S) -> u64 {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
+    let mut h = StableHasher::new();
     state.hash(&mut h);
     splitmix64(root_seed ^ h.finish())
 }
@@ -77,12 +81,13 @@ pub fn evaluate_batch<P: SearchProblem>(
     root_seed: u64,
 ) -> (Vec<Evaluation>, deco_gpu::KernelTiming) {
     let device = backend.device();
-    let report = launch(
+    let report = launch_with(
         &device,
         states,
         problem.threads_per_state(),
         problem.state_bytes(),
-        |s, _| problem.evaluate(s, state_seed(root_seed, s)),
+        P::Scratch::default,
+        |s, _, scratch| problem.evaluate_with(s, state_seed(root_seed, s), scratch),
     );
     let timing = report.timing.clone();
     (report.values(), timing)
@@ -96,6 +101,7 @@ mod tests {
 
     impl SearchProblem for Toy {
         type State = Vec<usize>;
+        type Scratch = ();
         fn initial(&self) -> Vec<usize> {
             vec![0, 0]
         }

@@ -96,7 +96,7 @@ pub fn generic_search<P: SearchProblem>(
             if eval.feasible
                 && best
                     .as_ref()
-                    .map_or(true, |(_, b)| better(minimize, eval.objective, b.objective))
+                    .is_none_or(|(_, b)| better(minimize, eval.objective, b.objective))
             {
                 best = Some((state.clone(), *eval));
                 improved = true;
@@ -179,7 +179,7 @@ pub fn beam_search<P: SearchProblem>(
                 if eval.feasible
                     && best
                         .as_ref()
-                        .map_or(true, |(_, b)| better(minimize, eval.objective, b.objective))
+                        .is_none_or(|(_, b)| better(minimize, eval.objective, b.objective))
                 {
                     best = Some((state.clone(), *eval));
                     improved = true;
@@ -317,7 +317,7 @@ pub fn astar_search<P: SearchProblem>(
             if eval.feasible
                 && best
                     .as_ref()
-                    .map_or(true, |(_, b)| better(minimize, eval.objective, b.objective))
+                    .is_none_or(|(_, b)| better(minimize, eval.objective, b.objective))
             {
                 best = Some((state.clone(), *eval));
                 improved = true;
@@ -353,6 +353,7 @@ mod tests {
 
     impl SearchProblem for Threshold {
         type State = Vec<usize>;
+        type Scratch = ();
         fn initial(&self) -> Vec<usize> {
             vec![0; self.n]
         }
@@ -379,7 +380,11 @@ mod tests {
 
     #[test]
     fn generic_search_finds_the_optimum() {
-        let p = Threshold { n: 3, k: 4, target: 4 };
+        let p = Threshold {
+            n: 3,
+            k: 4,
+            target: 4,
+        };
         let r = generic_search(&p, &SearchOptions::default(), &EvalBackend::SeqCpu);
         let (state, eval) = r.best.expect("a feasible state exists");
         assert_eq!(eval.objective, 4.0);
@@ -388,7 +393,11 @@ mod tests {
 
     #[test]
     fn astar_finds_the_same_optimum_with_fewer_states() {
-        let p = Threshold { n: 3, k: 4, target: 4 };
+        let p = Threshold {
+            n: 3,
+            k: 4,
+            target: 4,
+        };
         let g = generic_search(&p, &SearchOptions::default(), &EvalBackend::SeqCpu);
         let a = astar_search(&p, &SearchOptions::default(), &EvalBackend::SeqCpu);
         assert_eq!(
@@ -405,7 +414,11 @@ mod tests {
 
     #[test]
     fn infeasible_problems_return_none() {
-        let p = Threshold { n: 2, k: 2, target: 99 };
+        let p = Threshold {
+            n: 2,
+            k: 2,
+            target: 99,
+        };
         let r = generic_search(&p, &SearchOptions::default(), &EvalBackend::SeqCpu);
         assert!(r.best.is_none());
         // The whole space is 2^... small; everything gets visited.
@@ -414,7 +427,11 @@ mod tests {
 
     #[test]
     fn max_states_budget_is_respected() {
-        let p = Threshold { n: 8, k: 4, target: 24 };
+        let p = Threshold {
+            n: 8,
+            k: 4,
+            target: 24,
+        };
         let opts = SearchOptions {
             max_states: 50,
             ..Default::default()
@@ -425,7 +442,11 @@ mod tests {
 
     #[test]
     fn patience_stops_early_after_incumbent() {
-        let p = Threshold { n: 4, k: 4, target: 1 };
+        let p = Threshold {
+            n: 4,
+            k: 4,
+            target: 1,
+        };
         let opts = SearchOptions {
             patience: 1,
             batch: 4,
@@ -445,6 +466,7 @@ mod tests {
         struct MaxSum;
         impl SearchProblem for MaxSum {
             type State = Vec<usize>;
+            type Scratch = ();
             fn initial(&self) -> Vec<usize> {
                 vec![0; 2]
             }
@@ -470,7 +492,11 @@ mod tests {
     fn beam_search_finds_the_optimum_and_scales_deep() {
         // Needs depth-12 promotion chains: BFS cannot reach it in budget,
         // the beam can.
-        let p = Threshold { n: 6, k: 4, target: 12 };
+        let p = Threshold {
+            n: 6,
+            k: 4,
+            target: 12,
+        };
         let opts = SearchOptions {
             max_states: 2000,
             ..Default::default()
@@ -482,14 +508,22 @@ mod tests {
 
     #[test]
     fn beam_width_one_is_hill_climbing() {
-        let p = Threshold { n: 3, k: 4, target: 5 };
+        let p = Threshold {
+            n: 3,
+            k: 4,
+            target: 5,
+        };
         let r = beam_search(&p, &SearchOptions::default(), 1, &EvalBackend::SeqCpu);
         assert_eq!(r.best.unwrap().1.objective, 5.0);
     }
 
     #[test]
     fn stats_accumulate() {
-        let p = Threshold { n: 3, k: 3, target: 3 };
+        let p = Threshold {
+            n: 3,
+            k: 3,
+            target: 3,
+        };
         let r = generic_search(&p, &SearchOptions::default(), &EvalBackend::SeqCpu);
         assert!(r.stats.batches > 0);
         assert!(r.stats.states_evaluated > 0);

@@ -66,8 +66,7 @@ impl Term {
             Term::Var(_) => false,
             Term::Compound(_, args) => args.iter().all(Term::is_ground),
             Term::List(items, tail) => {
-                items.iter().all(Term::is_ground)
-                    && tail.as_ref().map_or(true, |t| t.is_ground())
+                items.iter().all(Term::is_ground) && tail.as_ref().is_none_or(|t| t.is_ground())
             }
         }
     }
@@ -75,10 +74,8 @@ impl Term {
     /// Collect the variable names occurring in the term.
     pub fn vars(&self, out: &mut Vec<String>) {
         match self {
-            Term::Var(v) => {
-                if !out.contains(v) {
-                    out.push(v.clone());
-                }
+            Term::Var(v) if !out.contains(v) => {
+                out.push(v.clone());
             }
             Term::Compound(_, args) => args.iter().for_each(|a| a.vars(out)),
             Term::List(items, tail) => {
@@ -243,10 +240,7 @@ mod tests {
             vec![Term::compound("q", vec![Term::var("X"), Term::num(2.0)])],
         );
         assert_eq!(c.to_string(), "p(X) :- q(X,2).");
-        let l = Term::List(
-            vec![Term::num(1.0)],
-            Some(Box::new(Term::var("T"))),
-        );
+        let l = Term::List(vec![Term::num(1.0)], Some(Box::new(Term::var("T"))));
         assert_eq!(l.to_string(), "[1|T]");
     }
 

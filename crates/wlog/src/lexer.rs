@@ -124,9 +124,7 @@ pub fn lex(src: &str) -> Result<Vec<(usize, Tok)>, LexError> {
         // Identifiers.
         if c.is_ascii_alphabetic() || c == b'_' {
             let start = i;
-            while i < b.len()
-                && (b[i].is_ascii_alphanumeric() || b[i] == b'_')
-            {
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
                 i += 1;
             }
             let word = &src[start..i];

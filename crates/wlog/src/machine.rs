@@ -173,7 +173,8 @@ impl Machine {
     ) -> Result<(), MachineError> {
         self.steps = 0;
         let mut b = Bindings::new();
-        self.solve(&[query.clone()], &mut b, on_solution).map(|_| ())
+        self.solve(std::slice::from_ref(query), &mut b, on_solution)
+            .map(|_| ())
     }
 
     fn budget(&mut self) -> Result<(), MachineError> {
@@ -694,7 +695,10 @@ mod tests {
     #[test]
     fn member_and_append_and_length() {
         let mut m = machine("");
-        assert_eq!(q(&mut m, "member(X, [a,b])"), vec!["member(a,[a,b])", "member(b,[a,b])"]);
+        assert_eq!(
+            q(&mut m, "member(X, [a,b])"),
+            vec!["member(a,[a,b])", "member(b,[a,b])"]
+        );
         assert_eq!(
             q(&mut m, "append([1],[2,3],L)"),
             vec!["append([1],[2,3],[1,2,3])"]

@@ -238,7 +238,11 @@ impl Parser {
 
     fn constraint_kind(&mut self) -> Result<ConstraintKind, ParseError> {
         let t = self.goal()?;
-        let bad = |p: &Self| p.err::<ConstraintKind>("constraint must be deadline(p,b), budget(p,b), atmost(b) or atleast(b)");
+        let bad = |p: &Self| {
+            p.err::<ConstraintKind>(
+                "constraint must be deadline(p,b), budget(p,b), atmost(b) or atleast(b)",
+            )
+        };
         match &t {
             Term::Compound(f, args) if f == "deadline" && args.len() == 2 => {
                 match (args[0].as_num(), args[1].as_num()) {
@@ -262,11 +266,12 @@ impl Parser {
                 Some(b) => Ok(ConstraintKind::AtMost { bound: b }),
                 None => bad(self),
             },
-            Term::Compound(f, args) if f == "atleast" && args.len() == 1 => match args[0].as_num()
-            {
-                Some(b) => Ok(ConstraintKind::AtLeast { bound: b }),
-                None => bad(self),
-            },
+            Term::Compound(f, args) if f == "atleast" && args.len() == 1 => {
+                match args[0].as_num() {
+                    Some(b) => Ok(ConstraintKind::AtLeast { bound: b }),
+                    None => bad(self),
+                }
+            }
             _ => bad(self),
         }
     }
@@ -311,9 +316,7 @@ impl Parser {
                 };
                 let var = match self.next() {
                     Some(Tok::Var(v)) => v,
-                    other => {
-                        return self.err(format!("goal expects a variable, found {other:?}"))
-                    }
+                    other => return self.err(format!("goal expects a variable, found {other:?}")),
                 };
                 if !self.eat_atom("in") {
                     return self.err("goal expects 'in' after the variable");
@@ -489,7 +492,8 @@ Bag), sum(Bag, Ct).
 
     #[test]
     fn astar_block_parses() {
-        let src = "enabled(astar).\ncal_g_score(C) :- totalcost(C).\nest_h_score(C) :- totalcost(C).";
+        let src =
+            "enabled(astar).\ncal_g_score(C) :- totalcost(C).\nest_h_score(C) :- totalcost(C).";
         let p = parse_program(src).unwrap();
         assert!(p.astar);
         assert_eq!(p.clauses.len(), 2);

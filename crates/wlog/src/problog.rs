@@ -22,7 +22,7 @@ use crate::ast::{Clause, Term};
 use crate::machine::{Database, Machine, MachineError};
 use crate::program::{Constraint, ConstraintKind, Goal, GoalKind};
 use deco_prob::mc::Estimate;
-use deco_prob::DecoRng;
+use deco_prob::{CdfSampler, DecoRng};
 use rand::Rng;
 
 /// A weighted rule of the probabilistic IR.
@@ -55,7 +55,10 @@ impl ProbProgram {
     }
 
     pub fn push_independent(&mut self, prob: f64, clause: Clause) {
-        assert!((0.0..=1.0).contains(&prob), "probability out of range: {prob}");
+        assert!(
+            (0.0..=1.0).contains(&prob),
+            "probability out of range: {prob}"
+        );
         self.independent.push(ProbRule { prob, clause });
     }
 
@@ -83,6 +86,10 @@ impl ProbProgram {
 pub struct Evaluator {
     pub machine: Machine,
     program: ProbProgram,
+    /// One precomputed CDF sampler per annotated-disjunction group:
+    /// selecting an alternative is a binary search instead of an O(group)
+    /// scan, and picks the same alternative for the same draw.
+    group_samplers: Vec<CdfSampler>,
 }
 
 impl Evaluator {
@@ -91,9 +98,15 @@ impl Evaluator {
         for c in &program.certain {
             db.assert(c.clone());
         }
+        let group_samplers = program
+            .groups
+            .iter()
+            .map(|g| CdfSampler::from_probs(g.iter().map(|(p, _)| *p)))
+            .collect();
         Evaluator {
             machine: Machine::new(db),
             program,
+            group_samplers,
         }
     }
 
@@ -115,17 +128,8 @@ impl Evaluator {
     /// Sample one realization into the machine's overlay.
     fn sample_realization(&mut self, rng: &mut DecoRng) {
         let mut overlay = Database::new();
-        for g in &self.program.groups {
-            let u: f64 = rng.gen();
-            let mut acc = 0.0;
-            let mut chosen = &g[g.len() - 1].1;
-            for (p, t) in g {
-                acc += p;
-                if u <= acc {
-                    chosen = t;
-                    break;
-                }
-            }
+        for (g, sampler) in self.program.groups.iter().zip(&self.group_samplers) {
+            let chosen = &g[sampler.sample_index(rng)].1;
             overlay.assert_fact(chosen.clone());
         }
         for r in &self.program.independent {

@@ -180,10 +180,8 @@ total(C) :- findall(X, cost(X), L), sum(L, C).
 
     #[test]
     fn astar_without_heuristics_is_rejected() {
-        let p = WlogProgram::parse(
-            "minimize C in t(C). cfg(T) forall task(T). enabled(astar).",
-        )
-        .unwrap();
+        let p = WlogProgram::parse("minimize C in t(C). cfg(T) forall task(T). enabled(astar).")
+            .unwrap();
         assert!(matches!(p.validate(), Err(WlogError::Program(_))));
     }
 

@@ -156,10 +156,8 @@ pub fn term_cmp(a: &Term, b: &Term) -> std::cmp::Ordering {
         (Term::Num(x), Term::Num(y)) => x.partial_cmp(y).unwrap_or(Equal),
         (Term::Atom(x), Term::Atom(y)) => x.cmp(y),
         (Term::Var(x), Term::Var(y)) => x.cmp(y),
-        (Term::Compound(f, xs), Term::Compound(g, ys)) => f
-            .cmp(g)
-            .then(xs.len().cmp(&ys.len()))
-            .then_with(|| {
+        (Term::Compound(f, xs), Term::Compound(g, ys)) => {
+            f.cmp(g).then(xs.len().cmp(&ys.len())).then_with(|| {
                 for (x, y) in xs.iter().zip(ys) {
                     let c = term_cmp(x, y);
                     if c != Equal {
@@ -167,7 +165,8 @@ pub fn term_cmp(a: &Term, b: &Term) -> std::cmp::Ordering {
                     }
                 }
                 Equal
-            }),
+            })
+        }
         (Term::List(xs, _), Term::List(ys, _)) => {
             for (x, y) in xs.iter().zip(ys) {
                 let c = term_cmp(x, y);
@@ -238,10 +237,7 @@ mod tests {
     #[test]
     fn partial_list_unification() {
         let mut b = Bindings::new();
-        let pat = Term::List(
-            vec![Term::var("H")],
-            Some(Box::new(Term::var("T"))),
-        );
+        let pat = Term::List(vec![Term::var("H")], Some(Box::new(Term::var("T"))));
         let lst = Term::list(vec![Term::num(1.0), Term::num(2.0), Term::num(3.0)]);
         assert!(b.unify(&pat, &lst));
         assert_eq!(b.resolve(&Term::var("H")), Term::num(1.0));

@@ -86,8 +86,7 @@ impl Workflow {
         if to.index() >= self.tasks.len() {
             return Err(WorkflowError::UnknownTask(to.to_string()));
         }
-        if self
-            .children[from.index()]
+        if self.children[from.index()]
             .iter()
             .any(|&e| self.edges[e].to == to)
         {
@@ -189,10 +188,7 @@ impl Workflow {
     /// this always succeeds.
     pub fn topo_order(&self) -> Vec<TaskId> {
         let mut indeg: Vec<usize> = self.parents.iter().map(|p| p.len()).collect();
-        let mut queue: Vec<TaskId> = self
-            .task_ids()
-            .filter(|t| indeg[t.index()] == 0)
-            .collect();
+        let mut queue: Vec<TaskId> = self.task_ids().filter(|t| indeg[t.index()] == 0).collect();
         let mut order = Vec::with_capacity(self.tasks.len());
         let mut head = 0;
         while head < queue.len() {
@@ -312,7 +308,11 @@ impl Workflow {
 
     /// Maximum number of structurally parallel tasks (width).
     pub fn width(&self) -> usize {
-        self.level_groups().iter().map(|g| g.len()).max().unwrap_or(0)
+        self.level_groups()
+            .iter()
+            .map(|g| g.len())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -356,7 +356,10 @@ mod tests {
     #[test]
     fn duplicate_edge_rejected() {
         let (mut w, [a, b, _, _]) = diamond();
-        assert_eq!(w.add_edge(a, b, 1.0), Err(WorkflowError::DuplicateEdge(a, b)));
+        assert_eq!(
+            w.add_edge(a, b, 1.0),
+            Err(WorkflowError::DuplicateEdge(a, b))
+        );
     }
 
     #[test]
@@ -414,7 +417,9 @@ mod tests {
     fn critical_path_dominates_every_root_sink_chain() {
         // Build a random-ish DAG deterministically and verify the invariant.
         let mut w = Workflow::new("chainy");
-        let ts: Vec<TaskId> = (0..10).map(|i| w.add_task(format!("t{i}"), "x", p())).collect();
+        let ts: Vec<TaskId> = (0..10)
+            .map(|i| w.add_task(format!("t{i}"), "x", p()))
+            .collect();
         for i in 0..10usize {
             for j in (i + 1)..10 {
                 if (i * 7 + j * 3) % 4 == 0 {
@@ -427,7 +432,10 @@ mod tests {
         // Enumerate all paths by DFS and check none exceeds cp.
         fn dfs(w: &Workflow, t: TaskId, acc: f64, weight: &dyn Fn(TaskId) -> f64, cp: f64) {
             let acc = acc + weight(t);
-            assert!(acc <= cp + 1e-9, "path through {t} has length {acc} > cp {cp}");
+            assert!(
+                acc <= cp + 1e-9,
+                "path through {t} has length {acc} > cp {cp}"
+            );
             for c in w.children(t) {
                 dfs(w, c, acc, weight, cp);
             }

@@ -413,7 +413,10 @@ pub fn emit_dax(w: &Workflow) -> String {
             escape(&t.executable),
             t.profile.cpu_seconds
         ));
-        let in_edges: f64 = w.parents(t.id).map(|p| w.edge_bytes(p, t.id).unwrap()).sum();
+        let in_edges: f64 = w
+            .parents(t.id)
+            .map(|p| w.edge_bytes(p, t.id).unwrap())
+            .sum();
         let out_files: f64 = out_groups[t.id.index()].iter().sum();
         let ext_in = (t.profile.read_bytes - in_edges).max(0.0);
         let ext_out = (t.profile.write_bytes - out_files).max(0.0);
@@ -518,10 +521,7 @@ mod tests {
     #[test]
     fn rejects_malformed_xml() {
         assert!(matches!(parse_dax("<adag"), Err(DaxError::Xml(..))));
-        assert!(matches!(
-            parse_dax("<adag></oops>"),
-            Err(DaxError::Xml(..))
-        ));
+        assert!(matches!(parse_dax("<adag></oops>"), Err(DaxError::Xml(..))));
     }
 
     #[test]

@@ -60,7 +60,11 @@ pub fn pipeline(n: usize, cpu_seconds: f64, stage_bytes: u64) -> Workflow {
 pub fn fork_join(width: usize, cpu_seconds: f64, bytes: f64) -> Workflow {
     assert!(width > 0);
     let mut w = Workflow::new(format!("forkjoin-{width}"));
-    let src = w.add_task("src", "split", TaskProfile::new(cpu_seconds, bytes, bytes * width as f64));
+    let src = w.add_task(
+        "src",
+        "split",
+        TaskProfile::new(cpu_seconds, bytes, bytes * width as f64),
+    );
     let sink_profile = TaskProfile::new(cpu_seconds, bytes * width as f64, bytes);
     let mut workers = Vec::with_capacity(width);
     for i in 0..width {
@@ -132,10 +136,22 @@ fn montage_grid(g: usize, seed: u64, name: String) -> Workflow {
         for c in 0..g {
             let here = project[r * g + c];
             if c + 1 < g {
-                diffs.push(add_difffit(&mut w, &mut rng, here, project[r * g + c + 1], proj));
+                diffs.push(add_difffit(
+                    &mut w,
+                    &mut rng,
+                    here,
+                    project[r * g + c + 1],
+                    proj,
+                ));
             }
             if r + 1 < g {
-                diffs.push(add_difffit(&mut w, &mut rng, here, project[(r + 1) * g + c], proj));
+                diffs.push(add_difffit(
+                    &mut w,
+                    &mut rng,
+                    here,
+                    project[(r + 1) * g + c],
+                    proj,
+                ));
             }
         }
     }
@@ -213,13 +229,7 @@ fn montage_grid(g: usize, seed: u64, name: String) -> Workflow {
     w
 }
 
-fn add_difffit(
-    w: &mut Workflow,
-    rng: &mut DecoRng,
-    a: TaskId,
-    b: TaskId,
-    proj: f64,
-) -> TaskId {
+fn add_difffit(w: &mut Workflow, rng: &mut DecoRng, a: TaskId, b: TaskId, proj: f64) -> TaskId {
     let t = w.add_task(
         format!("mDiffFit_{}", w.len()),
         "mDiffFit",
@@ -328,7 +338,11 @@ pub fn epigenomics(target_tasks: usize, seed: u64) -> Workflow {
     let split = w.add_task(
         "fastQSplit",
         "fastQSplit",
-        TaskProfile::new(35.0 * jitter(&mut rng, 0.2), chunk * lanes as f64, chunk * lanes as f64),
+        TaskProfile::new(
+            35.0 * jitter(&mut rng, 0.2),
+            chunk * lanes as f64,
+            chunk * lanes as f64,
+        ),
     );
     let mut maps = Vec::with_capacity(lanes);
     for i in 0..lanes {
@@ -353,7 +367,11 @@ pub fn epigenomics(target_tasks: usize, seed: u64) -> Workflow {
         let map = w.add_task(
             format!("map_{i}"),
             "map",
-            TaskProfile::new(320.0 * jitter(&mut rng, 0.3), chunk * 0.45 + 50.0 * MB, chunk * 0.2),
+            TaskProfile::new(
+                320.0 * jitter(&mut rng, 0.3),
+                chunk * 0.45 + 50.0 * MB,
+                chunk * 0.2,
+            ),
         );
         w.add_edge(bfq, map, chunk * 0.45).unwrap();
         maps.push(map);
@@ -361,7 +379,11 @@ pub fn epigenomics(target_tasks: usize, seed: u64) -> Workflow {
     let merge = w.add_task(
         "mapMerge",
         "mapMerge",
-        TaskProfile::new(12.0 * jitter(&mut rng, 0.2), chunk * 0.2 * lanes as f64, chunk * 0.2 * lanes as f64),
+        TaskProfile::new(
+            12.0 * jitter(&mut rng, 0.2),
+            chunk * 0.2 * lanes as f64,
+            chunk * 0.2 * lanes as f64,
+        ),
     );
     for &m in &maps {
         w.add_edge(m, merge, chunk * 0.2).unwrap();
@@ -369,9 +391,14 @@ pub fn epigenomics(target_tasks: usize, seed: u64) -> Workflow {
     let index = w.add_task(
         "maqIndex",
         "maqIndex",
-        TaskProfile::new(40.0 * jitter(&mut rng, 0.2), chunk * 0.2 * lanes as f64, 100.0 * MB),
+        TaskProfile::new(
+            40.0 * jitter(&mut rng, 0.2),
+            chunk * 0.2 * lanes as f64,
+            100.0 * MB,
+        ),
     );
-    w.add_edge(merge, index, chunk * 0.2 * lanes as f64).unwrap();
+    w.add_edge(merge, index, chunk * 0.2 * lanes as f64)
+        .unwrap();
     let pileup = w.add_task(
         "pileup",
         "pileup",
@@ -388,9 +415,9 @@ pub fn random_dag(n: usize, edge_prob: f64, seed: u64) -> Workflow {
     assert!(n > 0);
     assert!((0.0..=1.0).contains(&edge_prob));
     let mut rng = split_indexed(seed, 0x72616e64); // "rand"
-    // Decide adjacency and edge payloads first, so task profiles can cover
-    // their edges (read >= inbound, write >= distinct outbound payloads —
-    // the invariant the DAX emitter relies on).
+                                                   // Decide adjacency and edge payloads first, so task profiles can cover
+                                                   // their edges (read >= inbound, write >= distinct outbound payloads —
+                                                   // the invariant the DAX emitter relies on).
     let mut edges: Vec<(usize, usize, f64)> = Vec::new();
     for i in 0..n {
         for j in (i + 1)..n {

@@ -78,7 +78,12 @@ pub struct Task {
 }
 
 impl Task {
-    pub fn new(id: TaskId, name: impl Into<String>, executable: impl Into<String>, profile: TaskProfile) -> Self {
+    pub fn new(
+        id: TaskId,
+        name: impl Into<String>,
+        executable: impl Into<String>,
+        profile: TaskProfile,
+    ) -> Self {
         Self {
             id,
             name: name.into(),

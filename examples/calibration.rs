@@ -32,7 +32,11 @@ fn main() {
     );
     println!(
         "  => normality {} at the 1% level\n",
-        if gof.accepts(0.01) { "retained" } else { "rejected" }
+        if gof.accepts(0.01) {
+            "retained"
+        } else {
+            "rejected"
+        }
     );
 
     println!("Figure 7 — pair bandwidth histograms (calibrated):");

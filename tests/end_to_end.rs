@@ -154,8 +154,8 @@ fn autoscaling_misses_high_percentiles_that_deco_meets() {
     // Raw Autoscaling plan (no percentile correction).
     let raw_plan = deco::baselines::autoscaling_plan(&wf, &spec, deadline, 0);
     let (raw_makespans, _) = deco::cloud::run_plan_many(&spec, &wf, &raw_plan, 60, 5);
-    let raw_hit =
-        raw_makespans.iter().filter(|&&m| m <= deadline).count() as f64 / raw_makespans.len() as f64;
+    let raw_hit = raw_makespans.iter().filter(|&&m| m <= deadline).count() as f64
+        / raw_makespans.len() as f64;
 
     let mut deco = Deco::new(store);
     deco.options.mc_iters = 100;
@@ -211,7 +211,9 @@ fn scheduler_callouts_are_interchangeable() {
         Box::new(DecoScheduler::default()),
     ];
     for s in schedulers {
-        let exe = wms.plan(&wf, s.as_ref(), req).expect(s.name());
+        let exe = wms
+            .plan(&wf, s.as_ref(), req)
+            .unwrap_or_else(|| panic!("{}", s.name()));
         let r = wms.execute(&exe, req, s.name(), 5);
         assert!(r.makespan > 0.0, "{} produced an empty run", s.name());
     }

@@ -125,6 +125,39 @@ proptest! {
         }
     }
 
+    /// The compiled Monte-Carlo evaluator agrees with the reference
+    /// realization loop *realization-for-realization* — identical RNG
+    /// stream in, bit-identical (makespan, cost) out — on arbitrary DAGs,
+    /// type vectors and seeds. This is the contract that makes the fast
+    /// path a pure optimization: same seed, same verdict.
+    #[test]
+    fn compiled_plan_matches_reference_realizations(
+        n in 2usize..20, p in 0.05f64..0.45,
+        seed in 0u64..60, tseed in 0u64..40, rng_seed in 0u64..1000,
+    ) {
+        use deco::engine::estimate::{sampled_schedule, CompiledPlan, EvalScratch, ExecTimeTable};
+        let spec = CloudSpec::amazon_ec2();
+        let store = deco::cloud::MetadataStore::from_ground_truth(spec.clone(), 25);
+        let wf = generators::random_dag(n, p, seed);
+        let mut trng = seeded(tseed);
+        let types: Vec<usize> = (0..n).map(|_| (trng.next_u64() % 4) as usize).collect();
+        let plan = Plan::packed(&wf, &types, 0, &spec);
+        let table = ExecTimeTable::build(&wf, &store, 10);
+        let compiled = CompiledPlan::compile(&wf, &plan, &table, &spec);
+        let mut scratch = EvalScratch::new();
+        let mut r_ref = seeded(rng_seed);
+        let mut r_fast = seeded(rng_seed);
+        for i in 0..20 {
+            let (m_ref, c_ref) = sampled_schedule(&wf, &plan, &table, &spec, &mut r_ref);
+            let (m_fast, c_fast) = compiled.realize(&mut scratch, &mut r_fast);
+            prop_assert!(
+                m_ref == m_fast && c_ref == c_fast,
+                "realization {} diverged: ({}, {}) vs ({}, {})",
+                i, m_ref, c_ref, m_fast, c_fast
+            );
+        }
+    }
+
     /// The simulated makespan never beats the critical-path bound computed
     /// from the same realization floor (tasks cannot finish before their
     /// dependency chain's CPU time at infinite bandwidth).

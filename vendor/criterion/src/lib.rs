@@ -1,0 +1,216 @@
+//! Vendored stand-in for `criterion` (offline build). It reproduces the
+//! API subset the workspace's benches use — `Criterion`,
+//! `bench_function`, `benchmark_group` with builder knobs, `Bencher::iter`
+//! / `iter_batched`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple warm-up + fixed-duration
+//! measurement loop. Results print as `name: median ns/iter (samples)`
+//! lines; there are no HTML reports.
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+        }
+    }
+}
+
+/// One measured sample: mean nanoseconds per iteration.
+fn run_samples(settings: &Settings, mut one_iter: impl FnMut()) -> Vec<f64> {
+    // Warm-up: run until the warm-up budget is spent.
+    let start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    while start.elapsed() < settings.warm_up {
+        one_iter();
+        warm_iters += 1;
+    }
+    // Estimate per-iteration time to size each sample.
+    let per_iter = (start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+    let budget_ns = settings.measurement.as_nanos() as f64 / settings.sample_size as f64;
+    let iters_per_sample = ((budget_ns / per_iter).floor() as u64).max(1);
+
+    let mut samples = Vec::with_capacity(settings.sample_size);
+    for _ in 0..settings.sample_size {
+        let t = Instant::now();
+        for _ in 0..iters_per_sample {
+            one_iter();
+        }
+        samples.push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+    }
+    samples
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+pub struct Bencher<'a> {
+    settings: &'a Settings,
+    result_ns: Option<f64>,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let mut samples = run_samples(self.settings, || {
+            black_box(routine());
+        });
+        self.result_ns = Some(median(&mut samples));
+    }
+
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        // Setup runs outside the timed region, one input per iteration.
+        let start = Instant::now();
+        let mut warm: u64 = 0;
+        while start.elapsed() < self.settings.warm_up {
+            black_box(routine(setup()));
+            warm += 1;
+        }
+        let _ = warm;
+        let mut samples = Vec::with_capacity(self.settings.sample_size);
+        let per_sample = 10u64;
+        for _ in 0..self.settings.sample_size {
+            let mut total = Duration::ZERO;
+            for _ in 0..per_sample {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                total += t.elapsed();
+            }
+            samples.push(total.as_nanos() as f64 / per_sample as f64);
+        }
+        self.result_ns = Some(median(&mut samples));
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    fn run_one(settings: &Settings, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            settings,
+            result_ns: None,
+        };
+        f(&mut b);
+        match b.result_ns {
+            Some(ns) => println!("bench {name:<48} {ns:>14.1} ns/iter"),
+            None => println!("bench {name:<48} (no measurement)"),
+        }
+    }
+
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        Self::run_one(&self.settings, name, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+            settings: Settings::default(),
+        }
+    }
+
+    /// `cargo bench -- <filter>` support is not implemented; benches run
+    /// unconditionally.
+    pub fn final_summary(&mut self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement = d;
+        self
+    }
+
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        Criterion::run_one(&self.settings, &full, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default();
+        // Keep the test fast: tiny budgets.
+        c.settings.sample_size = 2;
+        c.settings.warm_up = Duration::from_millis(1);
+        c.settings.measurement = Duration::from_millis(2);
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        assert!(ran);
+    }
+}

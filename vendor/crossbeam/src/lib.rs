@@ -1,0 +1,74 @@
+//! Vendored stand-in for `crossbeam`, backed by `std::thread::scope`
+//! (stable since Rust 1.63). Only the `thread::scope` + `Scope::spawn`
+//! surface used by `deco-gpusim` is provided.
+
+pub mod thread {
+    /// Mirror of `crossbeam::thread::Scope`, wrapping the std scope.
+    /// `Copy` so that `spawn(move |scope| ...)` closures can capture it
+    /// by value the way crossbeam's API shape expects.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let me = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(me)),
+            }
+        }
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing, scoped threads can be
+    /// spawned. Unlike crossbeam's version this cannot observe a panic as
+    /// an `Err` at the `scope` call itself — std propagates child panics
+    /// on scope exit — so the `Result` is always `Ok` here.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_can_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        let out = super::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        7usize
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum::<usize>()
+        })
+        .unwrap();
+        assert_eq!(out, 28);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+}

@@ -1,0 +1,316 @@
+//! Vendored stand-in for `proptest` (offline build). Supports the subset
+//! the workspace's property tests use: the `proptest!` macro with an
+//! optional `#![proptest_config(..)]` header, `arg in strategy` bindings
+//! over integer/float ranges and `collection::vec`, and the
+//! `prop_assert!`/`prop_assert_eq!` family. Generation is random but
+//! fully deterministic per test (seeded from the test name); there is no
+//! shrinking — a failing case panics with its generated arguments, which
+//! is enough to reproduce since streams are deterministic.
+
+pub mod test_runner {
+    /// Mirror of `proptest::test_runner::Config` (only `cases` is
+    /// honored).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Smaller than upstream's 256: these run in tier-1 CI.
+            Config { cases: 64 }
+        }
+    }
+
+    /// A failed `prop_assert!`.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        pub fn fail(msg: String) -> Self {
+            TestCaseError(msg)
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// SplitMix64 stream seeded from the test name: deterministic across
+    /// runs and platforms, independent across tests.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the test name picks the stream.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform in `[0, n)`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            loop {
+                let x = self.next_u64();
+                let m = (x as u128) * (n as u128);
+                let lo = m as u64;
+                if lo >= n || lo >= n.wrapping_neg() % n {
+                    return (m >> 64) as u64;
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A value generator. Unlike upstream there is no value tree or
+    /// shrinking — `generate` draws a value directly.
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    (self.start).wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy_int!(usize, u64, u32, u16, u8, i64, i32);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    /// Constant strategy (`Just`), for completeness.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct VecStrategy<S: Strategy> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// `proptest::collection::vec`: a Vec of `element` draws with a
+    /// length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return Err($crate::test_runner::TestCaseError::fail(format!(
+                        "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        l,
+                        r
+                    )));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return Err($crate::test_runner::TestCaseError::fail(format!(
+                        "assertion failed: {} != {}\n  both: {:?}",
+                        stringify!($left),
+                        stringify!($right),
+                        l
+                    )));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = (<$crate::test_runner::Config as Default>::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __args_dbg = format!(
+                    concat!($("  ", stringify!($arg), " = {:?}\n"),+),
+                    $(&$arg),+
+                );
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        Ok(())
+                    })();
+                if let Err(e) = __result {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}\nwith arguments:\n{}",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        e,
+                        __args_dbg
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges respect their bounds.
+        #[test]
+        fn ranges_in_bounds(n in 3usize..10, x in -2.0f64..2.0, s in 0u64..9) {
+            prop_assert!((3..10).contains(&n));
+            prop_assert!((-2.0..2.0).contains(&x), "x out of bounds: {}", x);
+            prop_assert!(s < 9);
+        }
+
+        #[test]
+        fn vec_strategy_sizes(vals in crate::collection::vec(-100f64..100.0, 1..8)) {
+            prop_assert!(!vals.is_empty() && vals.len() < 8);
+            for v in &vals {
+                prop_assert!((-100.0..100.0).contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = crate::test_runner::TestRng::deterministic("t");
+        let mut b = crate::test_runner::TestRng::deterministic("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::TestRng::deterministic("u");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

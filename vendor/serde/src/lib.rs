@@ -1,0 +1,13 @@
+//! Vendored stand-in for `serde`. The real crate is unavailable offline;
+//! this one provides just enough — marker traits plus no-op derives — for
+//! `#[derive(Serialize, Deserialize)]` annotations in the workspace to
+//! compile. No actual (de)serialization happens in-tree.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+pub trait Deserialize<'de>: Sized {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T> Deserialize<'de> for T {}

@@ -1,0 +1,18 @@
+//! Vendored stand-in for `serde_derive`: the workspace derives
+//! `Serialize`/`Deserialize` on a handful of types for downstream
+//! consumers, but nothing in-tree actually serializes. The derives
+//! expand to nothing (the marker traits in the vendored `serde` have no
+//! required items), which keeps the offline build self-contained without
+//! pulling in syn/quote.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
