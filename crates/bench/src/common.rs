@@ -47,6 +47,7 @@ impl Env {
             },
             beam_width: 4,
             wlog_bins: 5,
+            retry: None,
         }
     }
 

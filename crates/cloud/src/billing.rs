@@ -102,4 +102,36 @@ mod tests {
     fn negative_usage_rejected() {
         quanta_charged(-1.0, 3600.0);
     }
+
+    // Edge cases exposed by mid-hour crashes: a revoked instance bills its
+    // busy span truncated at the crash instant through the same rounding.
+
+    #[test]
+    fn exact_quantum_boundaries_do_not_overbill() {
+        for k in 1..=5u64 {
+            assert_eq!(quanta_charged(k as f64 * 3600.0, 3600.0), k);
+        }
+        // A hair past the boundary starts a new quantum; a hair under
+        // stays in the old one.
+        assert_eq!(quanta_charged(3600.0 + 1e-6, 3600.0), 2);
+        assert_eq!(quanta_charged(3600.0 - 1e-6, 3600.0), 1);
+    }
+
+    #[test]
+    fn sub_second_lease_bills_one_full_quantum() {
+        assert_eq!(quanta_charged(1e-9, 3600.0), 1);
+        assert!((instance_cost(1e-9, 3600.0, 0.044) - 0.044).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crash_truncated_spans_bill_like_any_lease() {
+        // Mid-hour crash: one quantum. Crash just past the hour: two.
+        assert_eq!(quanta_charged(1800.0, 3600.0), 1);
+        assert_eq!(quanta_charged(3601.0, 3600.0), 2);
+        // A crash at the boot instant leaves a zero-length busy span,
+        // which still bills one quantum *if the instance ran at all*;
+        // instances that never ran anything are exempted upstream (the
+        // simulator only bills slots with a recorded busy span).
+        assert_eq!(quanta_charged(0.0, 3600.0), 1);
+    }
 }

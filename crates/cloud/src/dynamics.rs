@@ -71,6 +71,22 @@ pub fn task_seconds(
     cpu + io
 }
 
+/// Earliest time at or after `at` outside every `[start, end)` window.
+/// `windows` must be sorted by start and non-overlapping. Used to delay
+/// cross-region transfers across injected network partitions; identity
+/// for an empty window list.
+pub fn partition_release(windows: &[(f64, f64)], at: f64) -> f64 {
+    for &(start, end) in windows {
+        if at < start {
+            return at; // strictly before this (and every later) window
+        }
+        if at < end {
+            return end; // inside the window: wait for it to close
+        }
+    }
+    at
+}
+
 /// Sampled transfer time of `bytes` between two instances.
 pub fn transfer_seconds(
     spec: &CloudSpec,

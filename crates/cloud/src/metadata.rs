@@ -44,6 +44,11 @@ pub struct MetadataStore {
     /// `hists[itype][component]` in `PerfComponent::ALL` order.
     hists: Vec<[Histogram; 3]>,
     cross_region_net: Histogram,
+    /// Observed failure rates per instance-hour, `fail_rates[itype][region]`
+    /// — the `fail_rate(type, region)` facts `import(cloud)` exposes to
+    /// WLog programs. Zero (the default) means the cloud is assumed
+    /// reliable.
+    fail_rates: Vec<Vec<f64>>,
 }
 
 impl MetadataStore {
@@ -53,10 +58,12 @@ impl MetadataStore {
             spec.types.len(),
             "need one histogram set per instance type"
         );
+        let fail_rates = vec![vec![0.0; spec.regions.len()]; spec.types.len()];
         Self {
             spec,
             hists,
             cross_region_net,
+            fail_rates,
         }
     }
 
@@ -107,6 +114,43 @@ impl MetadataStore {
     pub fn cross_region_hist(&self) -> &Histogram {
         &self.cross_region_net
     }
+
+    /// Observed failure rate per instance-hour of one type in one region.
+    pub fn fail_rate(&self, itype: InstanceTypeId, region: crate::region::RegionId) -> f64 {
+        self.fail_rates[itype][region]
+    }
+
+    /// Whether any non-zero failure rate has been recorded.
+    pub fn has_failures(&self) -> bool {
+        self.fail_rates.iter().flatten().any(|&r| r > 0.0)
+    }
+
+    /// Record a failure rate (per instance-hour) for one type in one
+    /// region, as calibration would after observing revocations.
+    pub fn set_fail_rate(
+        &mut self,
+        itype: InstanceTypeId,
+        region: crate::region::RegionId,
+        rate: f64,
+    ) {
+        assert!(
+            (0.0..1.0e4).contains(&rate),
+            "implausible failure rate {rate}"
+        );
+        self.fail_rates[itype][region] = rate;
+    }
+
+    /// Builder-style variant of [`MetadataStore::set_fail_rate`] applying
+    /// one rate uniformly across all types and regions.
+    pub fn with_uniform_fail_rate(mut self, rate: f64) -> Self {
+        for row in &mut self.fail_rates {
+            for r in row {
+                *r = rate;
+            }
+        }
+        assert!(rate >= 0.0);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -149,5 +193,24 @@ mod tests {
     fn store_requires_full_coverage() {
         let spec = CloudSpec::amazon_ec2();
         MetadataStore::new(spec, Vec::new(), Histogram::constant(1.0));
+    }
+
+    #[test]
+    fn fail_rates_default_to_reliable_cloud() {
+        let spec = CloudSpec::amazon_ec2();
+        let store = MetadataStore::from_ground_truth(spec.clone(), 20);
+        assert!(!store.has_failures());
+        for i in 0..spec.types.len() {
+            for r in 0..spec.regions.len() {
+                assert_eq!(store.fail_rate(i, r), 0.0);
+            }
+        }
+        let mut store = store;
+        store.set_fail_rate(1, 0, 0.05);
+        assert!(store.has_failures());
+        assert_eq!(store.fail_rate(1, 0), 0.05);
+        assert_eq!(store.fail_rate(1, 1), 0.0);
+        let uniform = MetadataStore::from_ground_truth(spec, 20).with_uniform_fail_rate(0.02);
+        assert_eq!(uniform.fail_rate(3, 1), 0.02);
     }
 }

@@ -11,13 +11,37 @@
 //! The engine is *resumable*: `run_until` advances the dispatch clock only
 //! to a given simulated time, after which unstarted tasks may be reassigned
 //! (the follow-the-cost runtime re-optimization loop) before resuming.
+//!
+//! Failures are executed from a pre-generated [`DisruptionSchedule`] (see
+//! [`crate::outage`]): instances boot late or never, and a revocation kills
+//! whatever task is running at the crash instant. The fault-free schedule
+//! is the default and is an exact no-op — same RNG stream, same arithmetic,
+//! bit-identical results (pinned by a proptest in the workspace test
+//! suite).
 
 use crate::billing::CostLedger;
 use crate::dynamics;
 use crate::instance::CloudSpec;
+use crate::outage::{DisruptionSchedule, SlotFate};
 use crate::plan::Plan;
 use deco_prob::DecoRng;
 use deco_workflow::{TaskId, Workflow};
+
+/// One dispatch of one task onto one instance — the event trace consumed
+/// by ledger audits and by the recovery driver's reporting. Recorded in
+/// dispatch order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskAttempt {
+    pub task: TaskId,
+    /// Plan slot (concrete instance) the attempt ran on.
+    pub slot: usize,
+    /// Attempt start time, seconds.
+    pub start: f64,
+    /// Completion time, or the crash instant for a killed attempt.
+    pub end: f64,
+    /// False when the instance was revoked mid-execution.
+    pub completed: bool,
+}
 
 /// Outcome of a (completed) run.
 #[derive(Debug, Clone)]
@@ -31,14 +55,22 @@ pub struct RunResult {
     /// Per-task measured execution durations (excluding waiting), the
     /// signal the follow-the-cost Heuristic monitors.
     pub durations: Vec<f64>,
+    /// Every dispatch, including attempts killed by revocation.
+    pub attempts: Vec<TaskAttempt>,
+    /// Number of tasks that completed. Equals `finish.len()` except for
+    /// lossy runs collected via [`Simulation::finish_lossy`].
+    pub completed: usize,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum TaskState {
     /// Not yet dispatched.
     Pending,
-    /// Dispatched; will complete at `.0`.
+    /// Dispatched; will complete at `finish`.
     Started { start: f64, finish: f64 },
+    /// Dispatched but killed at `at` by instance revocation; eligible for
+    /// re-dispatch via [`Simulation::reassign_group_after`].
+    Failed { at: f64 },
 }
 
 /// A resumable execution of one workflow under one plan.
@@ -65,10 +97,25 @@ pub struct Simulation<'a> {
     /// Dispatch horizon reached so far.
     clock: f64,
     started: usize,
+    /// Pre-generated failure timeline (empty = fault-free).
+    faults: DisruptionSchedule,
+    /// Event trace: every dispatch, in dispatch order.
+    attempts: Vec<TaskAttempt>,
 }
 
 impl<'a> Simulation<'a> {
     pub fn new(spec: &'a CloudSpec, wf: &'a Workflow, plan: Plan, rng: DecoRng) -> Self {
+        Self::with_disruptions(spec, wf, plan, rng, DisruptionSchedule::empty())
+    }
+
+    /// Like [`Simulation::new`], but executes the given failure timeline.
+    pub fn with_disruptions(
+        spec: &'a CloudSpec,
+        wf: &'a Workflow,
+        plan: Plan,
+        rng: DecoRng,
+        faults: DisruptionSchedule,
+    ) -> Self {
         plan.validate(wf, spec).expect("invalid plan");
         let n_slots = plan.slots.len();
         let dispatch = plan.dispatch_order(wf);
@@ -85,6 +132,8 @@ impl<'a> Simulation<'a> {
             iready: vec![None; wf.len()],
             clock: 0.0,
             started: 0,
+            faults,
+            attempts: Vec::new(),
         }
     }
 
@@ -98,9 +147,15 @@ impl<'a> Simulation<'a> {
         self.clock
     }
 
-    /// Whether a task has been dispatched (it can no longer be reassigned).
+    /// Whether a task is running or done (it can no longer be reassigned).
+    /// A task killed by revocation is *not* started: it may be re-dispatched.
     pub fn is_started(&self, t: TaskId) -> bool {
-        !matches!(self.state[t.index()], TaskState::Pending)
+        matches!(self.state[t.index()], TaskState::Started { .. })
+    }
+
+    /// Whether a task's most recent attempt was killed by revocation.
+    pub fn is_failed(&self, t: TaskId) -> bool {
+        matches!(self.state[t.index()], TaskState::Failed { .. })
     }
 
     /// Realized execution duration of a dispatched task (the monitored
@@ -108,7 +163,7 @@ impl<'a> Simulation<'a> {
     pub fn duration_of(&self, t: TaskId) -> Option<f64> {
         match self.state[t.index()] {
             TaskState::Started { start, finish } => Some(finish - start),
-            TaskState::Pending => None,
+            TaskState::Pending | TaskState::Failed { .. } => None,
         }
     }
 
@@ -116,16 +171,64 @@ impl<'a> Simulation<'a> {
     pub fn finish_of(&self, t: TaskId) -> Option<f64> {
         match self.state[t.index()] {
             TaskState::Started { finish, .. } => Some(finish),
-            TaskState::Pending => None,
+            TaskState::Pending | TaskState::Failed { .. } => None,
         }
     }
 
-    /// Tasks not yet dispatched (the `Unfinished` set of Equation (7)).
+    /// Whether every task has been dispatched (O(1): the dispatch counter
+    /// against the workflow size). The recovery driver's quiescent fast
+    /// path terminates on this instead of scanning task states.
+    pub fn all_started(&self) -> bool {
+        self.started == self.wf.len()
+    }
+
+    /// Tasks not yet dispatched — or killed and awaiting re-dispatch (the
+    /// `Unfinished` set of Equation (7)).
     pub fn pending_tasks(&self) -> Vec<TaskId> {
         self.wf
             .task_ids()
             .filter(|&t| !self.is_started(t))
             .collect()
+    }
+
+    /// Whether a slot can never run another task: it was revoked (idle or
+    /// after killing a task), or it never boots at all.
+    pub fn slot_lost(&self, slot: usize) -> bool {
+        let fate = self.faults.fate(slot);
+        self.slot_free[slot] == f64::INFINITY
+            || fate.boot_delay == f64::INFINITY
+            || fate.crash_at <= self.clock
+    }
+
+    /// Tasks that cannot make progress without intervention: killed tasks,
+    /// plus pending tasks assigned to a lost slot. The recovery driver
+    /// moves these onto replacement instances.
+    pub fn unrunnable_tasks(&self) -> Vec<TaskId> {
+        self.wf
+            .task_ids()
+            .filter(|&t| match self.state[t.index()] {
+                TaskState::Failed { .. } => true,
+                TaskState::Pending => self.slot_lost(self.plan.assign[t.index()]),
+                TaskState::Started { .. } => false,
+            })
+            .collect()
+    }
+
+    /// The fate currently recorded for a slot.
+    pub fn slot_fate(&self, slot: usize) -> SlotFate {
+        self.faults.fate(slot)
+    }
+
+    /// Install a fate for a slot — used by the fault injector when the
+    /// recovery driver provisions a replacement instance mid-run (the
+    /// replacement draws its own fate).
+    pub fn set_slot_fate(&mut self, slot: usize, fate: SlotFate) {
+        self.faults.set_fate(slot, fate);
+    }
+
+    /// The dispatch trace so far (every attempt, including killed ones).
+    pub fn attempts(&self) -> &[TaskAttempt] {
+        &self.attempts
     }
 
     /// Reassign an unstarted task to a fresh instance. Used by runtime
@@ -141,6 +244,22 @@ impl<'a> Simulation<'a> {
         if tasks.is_empty() {
             return;
         }
+        self.reassign_group_after(tasks, slot, 0.0);
+    }
+
+    /// Like [`Simulation::reassign_group`], but the fresh instance only
+    /// becomes available at `not_before` — the recovery driver's retry
+    /// backoff. Killed tasks in the group return to `Pending` and will be
+    /// re-dispatched on the new instance. Returns the new slot's index so
+    /// the caller can install a [`SlotFate`] for the replacement.
+    pub fn reassign_group_after(
+        &mut self,
+        tasks: &[TaskId],
+        slot: crate::plan::VmSlot,
+        not_before: f64,
+    ) -> usize {
+        assert!(!tasks.is_empty(), "cannot migrate an empty group");
+        assert!(not_before >= 0.0);
         for &t in tasks {
             assert!(
                 !self.is_started(t),
@@ -149,10 +268,13 @@ impl<'a> Simulation<'a> {
         }
         let idx = self.plan.slots.len();
         self.plan.slots.push(slot);
-        self.slot_free.push(0.0);
+        self.slot_free.push(not_before);
         self.slot_span.push(None);
         for &t in tasks {
             self.plan.assign[t.index()] = idx;
+            if let TaskState::Failed { .. } = self.state[t.index()] {
+                self.state[t.index()] = TaskState::Pending;
+            }
         }
         // Placement changed: every pending task's transfer picture may have
         // changed (its own slot, or a parent's). Drop all pending caches —
@@ -166,6 +288,7 @@ impl<'a> Simulation<'a> {
         for i in pending_no_cache {
             self.iready[i] = None;
         }
+        idx
     }
 
     /// When every parent's output has arrived at `t`'s instance. `None`
@@ -182,7 +305,7 @@ impl<'a> Simulation<'a> {
         for p in parents {
             let pf = match self.state[p.index()] {
                 TaskState::Started { finish, .. } => finish,
-                TaskState::Pending => return None,
+                TaskState::Pending | TaskState::Failed { .. } => return None,
             };
             let p_slot = self.plan.assign[p.index()];
             let mut at = pf;
@@ -191,6 +314,12 @@ impl<'a> Simulation<'a> {
                 let from = self.plan.slots[p_slot];
                 let to = self.plan.slots[my_slot];
                 let cross = from.region != to.region;
+                if cross {
+                    // A cross-region transfer that would begin inside a
+                    // partition window waits for the link to return
+                    // (identity when no partitions are scheduled).
+                    at = self.faults.partition_release(at);
+                }
                 at += dynamics::transfer_seconds(
                     self.spec,
                     from.itype,
@@ -236,8 +365,20 @@ impl<'a> Simulation<'a> {
                     blocked[slot] = true;
                     continue;
                 };
-                let start = ir.max(self.slot_free[slot]);
+                let fate = self.faults.fate(slot);
+                // Boot stragglers delay the first start; `.max(0.0)` is a
+                // bitwise no-op for the healthy fate since starts are
+                // non-negative.
+                let start = ir.max(self.slot_free[slot]).max(fate.boot_delay);
                 if start >= horizon {
+                    blocked[slot] = true;
+                    continue;
+                }
+                if start >= fate.crash_at {
+                    // The instance is revoked before this task could start:
+                    // it stays pending (orphaned) until the recovery driver
+                    // moves it. `crash_at` is `INFINITY` when healthy, so
+                    // this never fires fault-free.
                     blocked[slot] = true;
                     continue;
                 }
@@ -254,11 +395,40 @@ impl<'a> Simulation<'a> {
                     &mut self.rng,
                 );
                 let finish = start + dur;
+                if finish > fate.crash_at {
+                    // Revoked mid-execution: the attempt ran from `start`
+                    // to the crash instant and is lost; the instance is
+                    // gone (billed up to the crash), and the task awaits
+                    // re-dispatch elsewhere.
+                    self.state[t.index()] = TaskState::Failed { at: fate.crash_at };
+                    self.slot_free[slot] = f64::INFINITY;
+                    self.slot_span[slot] = Some(match self.slot_span[slot] {
+                        None => (start, fate.crash_at),
+                        Some((a, b)) => (a.min(start), b.max(fate.crash_at)),
+                    });
+                    self.attempts.push(TaskAttempt {
+                        task: t,
+                        slot,
+                        start,
+                        end: fate.crash_at,
+                        completed: false,
+                    });
+                    blocked[slot] = true;
+                    any = true;
+                    continue;
+                }
                 self.state[t.index()] = TaskState::Started { start, finish };
                 self.slot_free[slot] = finish;
                 self.slot_span[slot] = Some(match self.slot_span[slot] {
                     None => (start, finish),
                     Some((a, b)) => (a.min(start), b.max(finish)),
+                });
+                self.attempts.push(TaskAttempt {
+                    task: t,
+                    slot,
+                    start,
+                    end: finish,
+                    completed: true,
                 });
                 self.started += 1;
                 dispatched += 1;
@@ -273,7 +443,9 @@ impl<'a> Simulation<'a> {
         dispatched
     }
 
-    /// Run to completion and report.
+    /// Run to completion and report. Panics unless every task completed —
+    /// use [`Simulation::finish_lossy`] for runs that may strand tasks on
+    /// lost instances.
     pub fn finish(mut self) -> RunResult {
         self.run_until(f64::INFINITY);
         assert_eq!(
@@ -281,6 +453,28 @@ impl<'a> Simulation<'a> {
             self.wf.len(),
             "all tasks must have been dispatched"
         );
+        self.collect().1
+    }
+
+    /// Run as far as possible and report whatever completed. Tasks
+    /// stranded by instance loss keep `finish`/`durations` of `0.0`; the
+    /// gap shows up as `completed < finish.len()`. Billing covers every
+    /// instance that ran anything, including crashed ones (charged up to
+    /// the crash instant).
+    pub fn finish_lossy(mut self) -> RunResult {
+        self.run_until(f64::INFINITY);
+        self.collect().1
+    }
+
+    /// Like [`Simulation::finish_lossy`], also handing back the final plan
+    /// (with every replacement slot) without cloning it — the recovery
+    /// driver reports both.
+    pub fn finish_lossy_parts(mut self) -> (Plan, RunResult) {
+        self.run_until(f64::INFINITY);
+        self.collect()
+    }
+
+    fn collect(self) -> (Plan, RunResult) {
         let mut finish = vec![0.0; self.wf.len()];
         let mut durations = vec![0.0; self.wf.len()];
         let mut makespan = 0.0f64;
@@ -302,12 +496,15 @@ impl<'a> Simulation<'a> {
             }
         }
         cost.add_transfer(self.cross_bytes, self.spec.inter_region_price_per_gb);
-        RunResult {
+        let result = RunResult {
             makespan,
             cost,
             finish,
             durations,
-        }
+            attempts: self.attempts,
+            completed: self.started,
+        };
+        (self.plan, result)
     }
 }
 
@@ -555,5 +752,170 @@ mod tests {
         assert!((r.durations[0] - 10.0).abs() < 1e-6);
         assert!((r.durations[1] - 10.0).abs() < 1e-6);
         assert!((r.finish[1] - 20.0).abs() < 1e-6);
+    }
+
+    // ---- failure mechanics -------------------------------------------
+
+    use crate::outage::{DisruptionSchedule, SlotFate};
+
+    fn one_slot_fate(fate: SlotFate) -> DisruptionSchedule {
+        let mut d = DisruptionSchedule::empty();
+        d.set_fate(0, fate);
+        d
+    }
+
+    #[test]
+    fn empty_schedule_is_bit_identical_to_plain_run() {
+        let spec = spec();
+        let wf = generators::montage(1, 21);
+        let plan = Plan::packed(&wf, &vec![1; wf.len()], 0, &spec);
+        let a = run_plan(&spec, &wf, &plan, 33);
+        let b = Simulation::with_disruptions(
+            &spec,
+            &wf,
+            plan.clone(),
+            seeded(33),
+            DisruptionSchedule::empty(),
+        )
+        .finish();
+        assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+        assert_eq!(a.cost.compute.to_bits(), b.cost.compute.to_bits());
+        assert_eq!(a.cost.transfer.to_bits(), b.cost.transfer.to_bits());
+        assert_eq!(a.finish, b.finish);
+        assert_eq!(a.durations, b.durations);
+    }
+
+    #[test]
+    fn crash_kills_running_task_and_bills_up_to_crash() {
+        let spec = spec();
+        let wf = generators::pipeline(2, 10.0, 0);
+        let plan = Plan::packed(&wf, &[0; 2], 0, &spec);
+        let sched = one_slot_fate(SlotFate {
+            boot_delay: 0.0,
+            crash_at: 15.0,
+        });
+        let sim = Simulation::with_disruptions(&spec, &wf, plan, seeded(13), sched);
+        let r = sim.finish_lossy();
+        // Task 0 completes (0..10); task 1 starts at 10 and is killed at 15.
+        assert_eq!(r.completed, 1);
+        assert_eq!(r.attempts.len(), 2);
+        assert!(r.attempts[0].completed);
+        assert!(!r.attempts[1].completed);
+        assert!((r.attempts[1].end - 15.0).abs() < 1e-9);
+        // Billed for the busy span 0..15 — one partial hour of m1.small.
+        assert!((r.cost.total() - 0.044).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unbootable_instance_bills_nothing() {
+        let spec = spec();
+        let wf = generators::pipeline(2, 10.0, 0);
+        let plan = Plan::packed(&wf, &[0; 2], 0, &spec);
+        let sched = one_slot_fate(SlotFate {
+            boot_delay: f64::INFINITY,
+            crash_at: f64::INFINITY,
+        });
+        let mut sim = Simulation::with_disruptions(&spec, &wf, plan, seeded(14), sched);
+        sim.run_until(f64::INFINITY);
+        assert_eq!(sim.unrunnable_tasks().len(), 2, "both tasks stranded");
+        let r = sim.finish_lossy();
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.cost.total(), 0.0, "an instance that never ran is free");
+    }
+
+    #[test]
+    fn crash_before_first_dispatch_bills_nothing() {
+        let spec = spec();
+        let wf = generators::pipeline(1, 10.0, 0);
+        let plan = Plan::packed(&wf, &[0; 1], 0, &spec);
+        let sched = one_slot_fate(SlotFate {
+            boot_delay: 0.0,
+            crash_at: 0.0,
+        });
+        let r = Simulation::with_disruptions(&spec, &wf, plan, seeded(15), sched).finish_lossy();
+        assert_eq!(r.completed, 0);
+        assert!(r.attempts.is_empty(), "task never started");
+        assert_eq!(r.cost.total(), 0.0);
+    }
+
+    #[test]
+    fn boot_straggler_delays_the_first_start() {
+        let spec = spec();
+        let wf = generators::pipeline(2, 10.0, 0);
+        let plan = Plan::packed(&wf, &[0; 2], 0, &spec);
+        let sched = one_slot_fate(SlotFate {
+            boot_delay: 100.0,
+            crash_at: f64::INFINITY,
+        });
+        let r = Simulation::with_disruptions(&spec, &wf, plan, seeded(16), sched).finish();
+        assert!((r.makespan - 120.0).abs() < 1e-6, "makespan {}", r.makespan);
+    }
+
+    #[test]
+    fn killed_task_recovers_on_replacement_instance() {
+        let spec = spec();
+        let wf = generators::pipeline(2, 10.0, 0);
+        let plan = Plan::packed(&wf, &[0; 2], 0, &spec);
+        let sched = one_slot_fate(SlotFate {
+            boot_delay: 0.0,
+            crash_at: 15.0,
+        });
+        let mut sim = Simulation::with_disruptions(&spec, &wf, plan, seeded(17), sched);
+        sim.run_until(f64::INFINITY);
+        let lost = sim.unrunnable_tasks();
+        assert_eq!(lost.len(), 1);
+        assert!(sim.is_failed(lost[0]));
+        assert!(sim.slot_lost(0));
+        // Replacement same type/region, available after a 30 s backoff.
+        let new_slot = sim.reassign_group_after(
+            &lost,
+            VmSlot {
+                itype: 0,
+                region: 0,
+            },
+            45.0,
+        );
+        assert_eq!(new_slot, 1);
+        let r = sim.finish();
+        // Retry runs 45..55 on the replacement.
+        assert!((r.makespan - 55.0).abs() < 1e-6, "makespan {}", r.makespan);
+        assert_eq!(r.completed, 2);
+        // Two instances billed: 0..15 (crashed) and 45..55.
+        assert!((r.cost.total() - 0.088).abs() < 1e-9);
+        // The trace records the killed attempt and the successful retry.
+        let t1_attempts: Vec<_> = r.attempts.iter().filter(|a| a.task == lost[0]).collect();
+        assert_eq!(t1_attempts.len(), 2);
+        assert!(!t1_attempts[0].completed && t1_attempts[1].completed);
+    }
+
+    #[test]
+    fn partition_delays_cross_region_transfer() {
+        let spec = spec();
+        let wf = generators::pipeline(2, 1.0, 512 * 1024 * 1024);
+        let plan = Plan {
+            slots: vec![
+                VmSlot {
+                    itype: 0,
+                    region: 0,
+                },
+                VmSlot {
+                    itype: 0,
+                    region: 1,
+                },
+            ],
+            assign: vec![0, 1],
+            order: vec![0, 1],
+        };
+        let base = run_plan(&spec, &wf, &plan, 18);
+        let mut sched = DisruptionSchedule::empty();
+        sched.push_partition(0.0, 1000.0);
+        let delayed =
+            Simulation::with_disruptions(&spec, &wf, plan.clone(), seeded(18), sched).finish();
+        assert!(
+            delayed.makespan > base.makespan + 500.0,
+            "partition must stall the transfer: {} vs {}",
+            delayed.makespan,
+            base.makespan
+        );
     }
 }

@@ -40,6 +40,11 @@ pub struct DecoOptions {
     /// Histogram bins for `exetime` expansion in the probabilistic IR
     /// (kept small — each bin is one weighted fact).
     pub wlog_bins: usize,
+    /// When set, the typed path plans against failure-adjusted runtime
+    /// histograms: each per-(task, type) distribution is inflated by the
+    /// expected retry overhead under the store's `fail_rate` facts and this
+    /// retry policy. `None` keeps the reliable-cloud estimates.
+    pub retry: Option<deco_cloud::RetryConfig>,
 }
 
 impl Default for DecoOptions {
@@ -49,6 +54,7 @@ impl Default for DecoOptions {
             search: SearchOptions::default(),
             beam_width: 4,
             wlog_bins: 5,
+            retry: None,
         }
     }
 }
@@ -93,8 +99,17 @@ impl Deco {
         percentile: f64,
         backend: &EvalBackend,
     ) -> Option<DecoPlan> {
-        let mut problem =
-            SchedulingProblem::new(wf, self.spec(), &self.store, deadline, percentile);
+        let mut problem = match &self.options.retry {
+            Some(retry) => SchedulingProblem::new_failure_aware(
+                wf,
+                self.spec(),
+                &self.store,
+                deadline,
+                percentile,
+                retry,
+            ),
+            None => SchedulingProblem::new(wf, self.spec(), &self.store, deadline, percentile),
+        };
         problem.mc_iters = self.options.mc_iters;
         let result = problem.solve_beam(&self.options.search, self.options.beam_width, backend);
         result.best.map(|(types, evaluation)| DecoPlan {
@@ -141,6 +156,28 @@ impl Deco {
                     Term::num(self.spec().types[j].price_per_hour / 3600.0),
                 ],
             )));
+        }
+        // Calibrated reliability facts, also part of import(cloud): the
+        // region ids and the per-(type, region) crash rates measured by the
+        // metadata store, so failure-aware programs can weigh reliability
+        // against price declaratively.
+        for r in 0..self.spec().regions.len() {
+            prob.push_certain(deco_wlog::ast::Clause::fact(Term::compound(
+                "region",
+                vec![region_atom(r)],
+            )));
+        }
+        for j in 0..k {
+            for r in 0..self.spec().regions.len() {
+                prob.push_certain(deco_wlog::ast::Clause::fact(Term::compound(
+                    "fail_rate",
+                    vec![
+                        vm_atom(j),
+                        region_atom(r),
+                        Term::num(self.store.fail_rate(j, r)),
+                    ],
+                )));
+            }
         }
         // Workflow facts from import(workflow): tasks, edges, virtual
         // root/tail.
@@ -239,6 +276,10 @@ fn task_atom(i: usize) -> Term {
 
 fn vm_atom(j: usize) -> Term {
     Term::atom(format!("v{j}"))
+}
+
+fn region_atom(r: usize) -> Term {
+    Term::atom(format!("r{r}"))
 }
 
 fn edge_fact(from: Term, to: Term) -> deco_wlog::ast::Clause {

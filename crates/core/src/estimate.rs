@@ -8,7 +8,7 @@
 //! store, never from the simulator's ground truth.
 
 use deco_cloud::plan::{exec_time_hist, Plan};
-use deco_cloud::{CloudSpec, MetadataStore};
+use deco_cloud::{CloudSpec, MetadataStore, RetryConfig};
 use deco_prob::rng::split_indexed;
 use deco_prob::{BinSampler, DecoRng, Histogram};
 use deco_workflow::Workflow;
@@ -34,6 +34,43 @@ impl ExecTimeTable {
         for t in wf.task_ids() {
             let row: Vec<Histogram> = (0..k)
                 .map(|ty| exec_time_hist(store, ty, wf, t).rebin(bins))
+                .collect();
+            hists.push(row);
+        }
+        let means = hists
+            .iter()
+            .map(|row| row.iter().map(|h| h.mean()).collect())
+            .collect();
+        ExecTimeTable { hists, means, bins }
+    }
+
+    /// Like [`ExecTimeTable::build`], but folds the store's
+    /// `fail_rate(type, region)` facts into every per-(task, type)
+    /// histogram: each execution time becomes the *expected completion
+    /// time including retries* under the given retry policy, evaluated at
+    /// `region` (types are plan variables; the region is fixed by the
+    /// scheduling stage). Plans optimized against this table are
+    /// failure-aware through the unchanged Monte-Carlo path — types whose
+    /// long tasks keep getting killed look expensive, exactly as the
+    /// probabilistic-scheduling literature folds failures into the
+    /// stochastic task-time model. With all rates zero this is
+    /// [`ExecTimeTable::build`] exactly.
+    pub fn build_failure_aware(
+        wf: &Workflow,
+        store: &MetadataStore,
+        bins: usize,
+        region: usize,
+        retry: &RetryConfig,
+    ) -> Self {
+        assert!(bins >= 2);
+        let k = store.spec.k();
+        let mut hists = Vec::with_capacity(wf.len());
+        for t in wf.task_ids() {
+            let row: Vec<Histogram> = (0..k)
+                .map(|ty| {
+                    let h = exec_time_hist(store, ty, wf, t).rebin(bins);
+                    failure_adjusted_hist(&h, store.fail_rate(ty, region), retry)
+                })
                 .collect();
             hists.push(row);
         }
@@ -70,6 +107,38 @@ impl ExecTimeTable {
     pub fn state_bytes(&self) -> usize {
         self.n_tasks() * (4 + 16 + 8 * self.bins)
     }
+}
+
+/// Expected completion time (retries included) of a task whose single
+/// attempt takes `x` seconds, on an instance that crashes at
+/// `rate_per_hour` (Poisson, so an attempt of length `x` is killed with
+/// probability `p = 1 − exp(−λx/3600)`).
+///
+/// Model: the expected number of killed attempts before success is the
+/// geometric `p/(1−p)`, truncated at the retry budget; each killed
+/// attempt wastes half its nominal duration in expectation (crashes are
+/// uniform over the attempt) plus the first backoff. Monotone in the
+/// rate, exactly `x` at rate zero.
+pub fn failure_adjusted_seconds(x: f64, rate_per_hour: f64, retry: &RetryConfig) -> f64 {
+    assert!(rate_per_hour >= 0.0);
+    if rate_per_hour == 0.0 || x <= 0.0 {
+        return x;
+    }
+    let p = 1.0 - (-rate_per_hour * x / 3600.0).exp();
+    let expected_failures = (p / (1.0 - p).max(1e-12)).min((retry.max_attempts - 1) as f64);
+    x + expected_failures * (0.5 * x + retry.backoff(1))
+}
+
+/// Push a per-(task, type) execution-time histogram through
+/// [`failure_adjusted_seconds`]. Returns the input unchanged (bit-for-bit)
+/// at rate zero, so failure-aware planning is an exact no-op on a
+/// reliable cloud.
+pub fn failure_adjusted_hist(h: &Histogram, rate_per_hour: f64, retry: &RetryConfig) -> Histogram {
+    if rate_per_hour == 0.0 {
+        return h.clone();
+    }
+    let retry = *retry;
+    h.map(move |x| failure_adjusted_seconds(x, rate_per_hour, &retry))
 }
 
 /// One Monte-Carlo realization of a plan's schedule: list-schedules the
@@ -719,5 +788,56 @@ mod tests {
         // 20-task state fits — the Section 6.3.2 speedup-decline mechanism.
         assert!(large.state_bytes() > 48 * 1024);
         assert!(small.state_bytes() < 48 * 1024);
+    }
+
+    #[test]
+    fn failure_adjustment_is_identity_at_rate_zero() {
+        let (wf, _spec, store) = setup();
+        let retry = RetryConfig::default();
+        let plain = ExecTimeTable::build(&wf, &store, 12);
+        let aware = ExecTimeTable::build_failure_aware(&wf, &store, 12, 0, &retry);
+        for t in 0..plain.n_tasks() {
+            for j in 0..plain.k() {
+                assert_eq!(
+                    plain.mean(t, j).to_bits(),
+                    aware.mean(t, j).to_bits(),
+                    "reliable cloud must leave ({t},{j}) untouched"
+                );
+            }
+        }
+        assert_eq!(failure_adjusted_seconds(300.0, 0.0, &retry), 300.0);
+    }
+
+    #[test]
+    fn failure_adjustment_is_monotone_in_the_rate() {
+        let retry = RetryConfig::default();
+        let x = 1800.0;
+        let mut prev = x;
+        for rate in [0.05, 0.2, 0.5, 1.0, 2.0] {
+            let adj = failure_adjusted_seconds(x, rate, &retry);
+            assert!(adj > prev, "rate {rate}: {adj} must exceed {prev}");
+            prev = adj;
+        }
+        // The retry budget caps the inflation even at absurd rates.
+        let worst = failure_adjusted_seconds(x, 1.0e3, &retry);
+        let cap = (retry.max_attempts - 1) as f64;
+        assert!(worst <= x + cap * (0.5 * x + retry.backoff(1)) + 1e-9);
+    }
+
+    #[test]
+    fn failure_aware_tables_raise_unreliable_types_only() {
+        let (wf, _spec, store) = setup();
+        let retry = RetryConfig::default();
+        // Type 0 is flaky in region 0; everything else is reliable.
+        let mut store = store;
+        store.set_fail_rate(0, 0, 1.5);
+        let plain = ExecTimeTable::build(&wf, &store, 12);
+        let aware = ExecTimeTable::build_failure_aware(&wf, &store, 12, 0, &retry);
+        for t in 0..plain.n_tasks() {
+            assert!(aware.mean(t, 0) > plain.mean(t, 0));
+            for j in 1..plain.k() {
+                assert_eq!(plain.mean(t, j).to_bits(), aware.mean(t, j).to_bits());
+            }
+        }
     }
 }

@@ -109,8 +109,11 @@ impl WorkflowSnapshot {
             .collect();
         slots.sort_unstable();
         slots.dedup();
+        // A lost instance (revoked or unbootable) must be replaced whether
+        // or not we migrate, so it contributes no migration restart cost.
         let pending_slot_prices = slots
             .iter()
+            .filter(|&&s| !sim.slot_lost(s))
             .map(|&s| spec.types[sim.plan().slots[s].itype].price_per_hour)
             .collect();
         Some(WorkflowSnapshot {

@@ -75,6 +75,25 @@ impl<'a> SchedulingProblem<'a> {
         }
     }
 
+    /// Like [`SchedulingProblem::new`], but estimation folds the store's
+    /// `fail_rate(type, region)` facts into every execution-time
+    /// histogram (expected retry overhead under `retry`), so the search
+    /// optimizes failure-aware plans through the unchanged Monte-Carlo
+    /// path. Identical to [`SchedulingProblem::new`] when the store
+    /// records no failures.
+    pub fn new_failure_aware(
+        wf: &'a Workflow,
+        spec: &'a CloudSpec,
+        store: &MetadataStore,
+        deadline: f64,
+        percentile: f64,
+        retry: &deco_cloud::RetryConfig,
+    ) -> Self {
+        let mut p = Self::new(wf, spec, store, deadline, percentile);
+        p.table = ExecTimeTable::build_failure_aware(wf, store, 12, p.region, retry);
+        p
+    }
+
     /// Materialize a type state into a provisioning plan with
     /// deadline-aware consolidation (the Move/Merge operations), packing
     /// against the safety-contracted deadline.

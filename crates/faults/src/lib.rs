@@ -1,0 +1,36 @@
+//! Deterministic fault injection for the Deco cloud simulator.
+//!
+//! Production IaaS deployments lose instances — spot revocations, hardware
+//! failures, stuck boots, flaky inter-region links — and a provisioning
+//! engine is only credible if its plans survive that. This crate layers a
+//! *seeded, reproducible* failure model over the discrete-event engine in
+//! `deco_cloud::sim` and drives recovery on top of it:
+//!
+//! * [`FaultModel`] — the rates: per-(type, region) crash rates per
+//!   instance-hour (Poisson), spot-style bulk revocation events, boot-time
+//!   stragglers / boot failures, and transient inter-region partitions.
+//! * [`FaultInjector`] — turns a model plus a `u64` seed into concrete
+//!   [`deco_cloud::DisruptionSchedule`]s. Every draw is keyed by a
+//!   domain-separated `prob::hash::StableHasher` digest, so schedules are
+//!   stable across platforms and Rust releases (the same discipline the
+//!   solver uses for Monte-Carlo seeds), and independent of anything's
+//!   iteration order.
+//! * [`recovery`] — the retry driver: re-dispatches killed and orphaned
+//!   tasks onto replacement instances with capped exponential backoff
+//!   ([`deco_cloud::RetryConfig`]), gives up per task after a bounded
+//!   number of strikes, and optionally consults a
+//!   [`deco_cloud::RuntimePolicy`] after each loss so follow-the-cost
+//!   replanning triggers on instance loss, not just on performance drift.
+//!
+//! The subsystem is provably zero-cost when disabled: a quiescent model
+//! produces the empty schedule, and the simulator's fault checks are exact
+//! no-ops for it — bit-identical makespans, ledgers and traces (pinned by
+//! a proptest in the workspace suite).
+
+pub mod model;
+pub mod recovery;
+pub mod schedule;
+
+pub use model::FaultModel;
+pub use recovery::{run_with_faults, run_with_faults_policy, FaultRunResult};
+pub use schedule::FaultInjector;

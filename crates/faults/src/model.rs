@@ -1,0 +1,152 @@
+//! The fault taxonomy and its rates.
+
+use deco_cloud::{CloudSpec, MetadataStore};
+use serde::{Deserialize, Serialize};
+
+/// Hours → seconds.
+pub const HOUR: f64 = 3600.0;
+
+/// Rates for every supported failure mode. All rates default to zero; a
+/// zero-rate model is *quiescent* and generates empty schedules.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultModel {
+    /// Independent crash rate per instance-hour, `crash_rates[itype][region]`
+    /// (a Poisson process per instance: time-to-failure is exponential
+    /// with this rate). Missing entries mean zero.
+    pub crash_rates: Vec<Vec<f64>>,
+    /// Probability an acquired instance never becomes usable at all.
+    pub unbootable_prob: f64,
+    /// Probability an instance boots late (a boot-time straggler).
+    pub straggler_prob: f64,
+    /// Mean extra boot delay of a straggler, seconds (exponential).
+    pub straggler_mean_delay: f64,
+    /// Rate of fleet-wide bulk revocation events per hour (spot-market
+    /// reclaims hit many instances at once).
+    pub bulk_rate_per_hour: f64,
+    /// Fraction of the fleet each bulk event revokes.
+    pub bulk_fraction: f64,
+    /// Rate of transient inter-region partitions per hour.
+    pub partition_rate_per_hour: f64,
+    /// Mean partition duration, seconds (exponential).
+    pub partition_mean_seconds: f64,
+    /// How far into simulated time global event streams (bulk revocations,
+    /// partitions) are pre-generated, seconds.
+    pub horizon: f64,
+}
+
+impl FaultModel {
+    /// The fault-free model.
+    pub fn none() -> Self {
+        FaultModel {
+            crash_rates: Vec::new(),
+            unbootable_prob: 0.0,
+            straggler_prob: 0.0,
+            straggler_mean_delay: 0.0,
+            bulk_rate_per_hour: 0.0,
+            bulk_fraction: 0.0,
+            partition_rate_per_hour: 0.0,
+            partition_mean_seconds: 0.0,
+            horizon: 7.0 * 24.0 * HOUR,
+        }
+    }
+
+    /// A uniform crash rate per instance-hour across every type and
+    /// region of `spec`; every other mode off.
+    pub fn uniform_crash(spec: &CloudSpec, rate: f64) -> Self {
+        assert!(rate >= 0.0);
+        FaultModel {
+            crash_rates: vec![vec![rate; spec.regions.len()]; spec.types.len()],
+            ..FaultModel::none()
+        }
+    }
+
+    /// Build the crash-rate table from the metadata store's
+    /// `fail_rate(type, region)` facts — the same information surface
+    /// `import(cloud)` exposes to WLog programs.
+    pub fn from_store(store: &MetadataStore) -> Self {
+        let spec = &store.spec;
+        let crash_rates = (0..spec.types.len())
+            .map(|i| {
+                (0..spec.regions.len())
+                    .map(|r| store.fail_rate(i, r))
+                    .collect()
+            })
+            .collect();
+        FaultModel {
+            crash_rates,
+            ..FaultModel::none()
+        }
+    }
+
+    /// Crash rate per instance-hour for one type in one region (zero when
+    /// the table has no entry).
+    pub fn crash_rate(&self, itype: usize, region: usize) -> f64 {
+        self.crash_rates
+            .get(itype)
+            .and_then(|row| row.get(region))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    /// True when no failure mode can ever fire — the injector's fast path
+    /// to the empty schedule.
+    pub fn is_quiescent(&self) -> bool {
+        self.crash_rates.iter().flatten().all(|&r| r == 0.0)
+            && self.unbootable_prob == 0.0
+            && self.straggler_prob == 0.0
+            && (self.bulk_rate_per_hour == 0.0 || self.bulk_fraction == 0.0)
+            && self.partition_rate_per_hour == 0.0
+    }
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        FaultModel::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_quiescent() {
+        assert!(FaultModel::none().is_quiescent());
+    }
+
+    #[test]
+    fn uniform_crash_is_not_quiescent() {
+        let spec = CloudSpec::amazon_ec2();
+        let m = FaultModel::uniform_crash(&spec, 0.05);
+        assert!(!m.is_quiescent());
+        assert_eq!(m.crash_rate(0, 0), 0.05);
+        assert_eq!(m.crash_rate(3, 1), 0.05);
+        assert_eq!(m.crash_rate(99, 0), 0.0, "out-of-table is reliable");
+    }
+
+    #[test]
+    fn from_store_reads_fail_rate_facts() {
+        let spec = CloudSpec::amazon_ec2();
+        let mut store = MetadataStore::from_ground_truth(spec, 12);
+        store.set_fail_rate(2, 1, 0.1);
+        let m = FaultModel::from_store(&store);
+        assert_eq!(m.crash_rate(2, 1), 0.1);
+        assert_eq!(m.crash_rate(2, 0), 0.0);
+        assert!(!m.is_quiescent());
+        assert!(FaultModel::from_store(&MetadataStore::from_ground_truth(
+            CloudSpec::amazon_ec2(),
+            12
+        ))
+        .is_quiescent());
+    }
+
+    #[test]
+    fn bulk_without_fraction_is_quiescent() {
+        let m = FaultModel {
+            bulk_rate_per_hour: 1.0,
+            bulk_fraction: 0.0,
+            ..FaultModel::none()
+        };
+        assert!(m.is_quiescent());
+    }
+}

@@ -1,0 +1,340 @@
+//! The retry/recovery driver.
+//!
+//! Runs a plan to completion under injected faults: whenever the engine
+//! reports unrunnable tasks (killed by a revocation, or stranded on a
+//! lost/unbootable instance), the driver provisions a replacement instance
+//! of the same type in the same region, moves the whole stranded group
+//! onto it (preserving consolidation, like the follow-the-cost migration
+//! path), and spaces attempts with capped exponential backoff. Each
+//! replacement draws its *own* fate from the injector, so recovery can
+//! itself be disrupted. A task is abandoned after `max_attempts` strikes;
+//! its descendants then simply never dispatch and the run is reported
+//! lossy rather than panicking.
+//!
+//! Optionally a [`RuntimePolicy`] is consulted after every recovery round
+//! — this is how follow-the-cost replanning triggers on instance *loss*,
+//! not just on performance drift.
+
+use crate::schedule::FaultInjector;
+use deco_cloud::billing::instance_cost;
+use deco_cloud::{CloudSpec, Plan, RetryConfig, RunResult, RuntimePolicy, Simulation, TaskAttempt};
+use deco_prob::rng::seeded;
+use deco_workflow::{TaskId, Workflow};
+use std::collections::BTreeMap;
+
+/// Outcome of one fault-injected execution.
+#[derive(Debug, Clone)]
+pub struct FaultRunResult {
+    /// The (possibly lossy) run: makespan over completed tasks, full cost
+    /// ledger, and the complete attempt trace.
+    pub result: RunResult,
+    /// The final plan, including every replacement slot provisioned.
+    pub plan: Plan,
+    /// Tasks given up on after exhausting their attempts.
+    pub abandoned: Vec<TaskId>,
+    /// Attempts killed by instance revocation.
+    pub crashes: usize,
+    /// Killed tasks re-dispatched onto replacement instances.
+    pub retries: usize,
+    /// Times the runtime policy was consulted after a recovery round.
+    pub replans: usize,
+}
+
+impl FaultRunResult {
+    /// Whether every task completed.
+    pub fn all_done(&self, wf: &Workflow) -> bool {
+        self.result.completed == wf.len()
+    }
+}
+
+/// Execute `wf` under `plan` with faults drawn by `injector`, retrying per
+/// `retry`. `seed` drives the performance dynamics (the same stream
+/// [`deco_cloud::run_plan`] would use), independent of the fault seed.
+pub fn run_with_faults(
+    spec: &CloudSpec,
+    wf: &Workflow,
+    plan: &Plan,
+    injector: &FaultInjector,
+    retry: RetryConfig,
+    seed: u64,
+) -> FaultRunResult {
+    run_with_faults_policy(spec, wf, plan, injector, retry, seed, f64::INFINITY, None)
+}
+
+/// Like [`run_with_faults`], consulting `policy` after every recovery
+/// round — the replan-on-instance-loss trigger for follow-the-cost.
+///
+/// With a policy attached, `epoch_seconds` must be finite: the driver
+/// advances the dispatch horizon in epochs so the policy observes a
+/// meaningful clock (slack, lost slots) at each consultation, exactly like
+/// [`deco_cloud::run_with_policy`]. Slots the policy provisions during a
+/// replan draw their own fates from the injector. Without a policy, pass
+/// `f64::INFINITY` to resolve each recovery round in a single pass.
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_faults_policy(
+    spec: &CloudSpec,
+    wf: &Workflow,
+    plan: &Plan,
+    injector: &FaultInjector,
+    retry: RetryConfig,
+    seed: u64,
+    epoch_seconds: f64,
+    mut policy: Option<&mut dyn RuntimePolicy>,
+) -> FaultRunResult {
+    assert!(retry.max_attempts >= 1);
+    assert!(epoch_seconds > 0.0);
+    assert!(
+        policy.is_none() || epoch_seconds.is_finite(),
+        "a policy needs finite epochs to observe a meaningful clock"
+    );
+    let sched = injector.schedule_for(plan);
+    let mut sim = Simulation::with_disruptions(spec, wf, plan.clone(), seeded(seed), sched);
+    // Allocated on the first disruption; a fault-free run never touches it.
+    let mut strikes: Vec<u32> = Vec::new();
+    let mut abandoned: Vec<TaskId> = Vec::new();
+    let (mut crashes, mut retries, mut replans) = (0usize, 0usize, 0usize);
+    let mut horizon = epoch_seconds;
+    loop {
+        sim.run_until(horizon);
+        if sim.all_started() {
+            // Everything dispatched (abandoned tasks never start, so this
+            // also implies nothing was given up on): the run is complete.
+            // This O(1) check is the entire per-run cost of the recovery
+            // driver on a fault-free execution.
+            break;
+        }
+        let stuck: Vec<TaskId> = sim
+            .unrunnable_tasks()
+            .into_iter()
+            .filter(|t| !abandoned.contains(t))
+            .collect();
+        // Group stranded tasks by the instance they were lost from;
+        // BTreeMap keeps recovery order deterministic.
+        if strikes.is_empty() && !stuck.is_empty() {
+            strikes = vec![0u32; wf.len()];
+        }
+        let mut groups: BTreeMap<usize, Vec<TaskId>> = BTreeMap::new();
+        for t in stuck {
+            if sim.is_failed(t) {
+                crashes += 1;
+            }
+            strikes[t.index()] += 1;
+            if strikes[t.index()] >= retry.max_attempts {
+                abandoned.push(t);
+                continue;
+            }
+            groups
+                .entry(sim.plan().assign[t.index()])
+                .or_default()
+                .push(t);
+        }
+        let recovered = !groups.is_empty();
+        for (old_slot, group) in groups {
+            let vm = sim.plan().slots[old_slot];
+            let fate = sim.slot_fate(old_slot);
+            // When the instance was revoked we learn about the loss at the
+            // crash instant; an unbootable instance is detected at boot.
+            let discovered = if fate.crash_at.is_finite() {
+                fate.crash_at
+            } else {
+                0.0
+            };
+            let worst = group.iter().map(|t| strikes[t.index()]).max().unwrap();
+            let not_before = discovered + retry.backoff(worst);
+            retries += group.iter().filter(|&&t| sim.is_failed(t)).count();
+            let new_slot = sim.reassign_group_after(&group, vm, not_before);
+            // The replacement draws its own fate — recovery is not immune.
+            sim.set_slot_fate(
+                new_slot,
+                injector.slot_fate(new_slot, vm.itype, vm.region, not_before),
+            );
+        }
+        if recovered {
+            if let Some(p) = policy.as_deref_mut() {
+                let before = sim.plan().slots.len();
+                p.replan(&mut sim, wf);
+                replans += 1;
+                // Instances the policy just provisioned draw their fates
+                // from the injector too.
+                for s in before..sim.plan().slots.len() {
+                    let vm = sim.plan().slots[s];
+                    let fate = injector.slot_fate(s, vm.itype, vm.region, sim.now());
+                    sim.set_slot_fate(s, fate);
+                }
+            }
+        }
+        // Done when every still-pending task is unreachable: abandoned, or
+        // downstream of an abandoned task. With nothing abandoned that
+        // reduces to "everything dispatched", which is O(1) — the whole
+        // termination cost of a fault-free run.
+        if abandoned.is_empty() {
+            if sim.all_started() {
+                break;
+            }
+        } else {
+            let unreachable = unreachable_set(wf, &abandoned);
+            if sim.pending_tasks().iter().all(|t| unreachable[t.index()]) {
+                break;
+            }
+        }
+        if horizon.is_infinite() && !recovered {
+            // Single-pass mode made no progress and something reachable is
+            // still pending — cannot happen with a consistent engine, but
+            // never spin.
+            break;
+        }
+        if horizon.is_finite() {
+            horizon += epoch_seconds;
+        }
+    }
+    let (plan, result) = sim.finish_lossy_parts();
+    FaultRunResult {
+        result,
+        plan,
+        abandoned,
+        crashes,
+        retries,
+        replans,
+    }
+}
+
+/// Tasks that can never run: the abandoned set and everything downstream.
+fn unreachable_set(wf: &Workflow, abandoned: &[TaskId]) -> Vec<bool> {
+    let mut dead = vec![false; wf.len()];
+    for &t in abandoned {
+        dead[t.index()] = true;
+    }
+    // One forward sweep suffices: task_ids() is topologically ordered in
+    // the generators' DAGs, but be safe and iterate to a fixed point.
+    loop {
+        let mut changed = false;
+        for t in wf.task_ids() {
+            if !dead[t.index()] && wf.parents(t).any(|p| dead[p.index()]) {
+                dead[t.index()] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            return dead;
+        }
+    }
+}
+
+/// Recompute the compute bill from first principles — per-slot busy spans
+/// reconstructed from the attempt trace (killed attempts end at the crash
+/// instant) — for ledger audits in tests. Must equal
+/// `result.cost.compute` exactly.
+pub fn audit_compute_cost(spec: &CloudSpec, plan: &Plan, attempts: &[TaskAttempt]) -> f64 {
+    let mut spans: Vec<Option<(f64, f64)>> = vec![None; plan.slots.len()];
+    for a in attempts {
+        spans[a.slot] = Some(match spans[a.slot] {
+            None => (a.start, a.end),
+            Some((lo, hi)) => (lo.min(a.start), hi.max(a.end)),
+        });
+    }
+    let mut total = 0.0;
+    for (slot, span) in plan.slots.iter().zip(&spans) {
+        if let Some((lo, hi)) = span {
+            total += instance_cost(
+                hi - lo,
+                spec.billing_quantum,
+                spec.price(slot.itype, slot.region),
+            );
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FaultModel;
+    use deco_cloud::run_plan;
+    use deco_workflow::generators;
+
+    fn env() -> (CloudSpec, Workflow, Plan) {
+        let spec = CloudSpec::amazon_ec2();
+        let wf = generators::pipeline(8, 600.0, 0);
+        let plan = Plan::packed(&wf, &vec![0; wf.len()], 0, &spec);
+        (spec, wf, plan)
+    }
+
+    #[test]
+    fn quiescent_injector_matches_plain_run_exactly() {
+        let (spec, wf, plan) = env();
+        let inj = FaultInjector::new(FaultModel::none(), 1);
+        let base = run_plan(&spec, &wf, &plan, 77);
+        let faulty = run_with_faults(&spec, &wf, &plan, &inj, RetryConfig::default(), 77);
+        assert!(faulty.all_done(&wf));
+        assert_eq!(faulty.crashes, 0);
+        assert_eq!(base.makespan.to_bits(), faulty.result.makespan.to_bits());
+        assert_eq!(
+            base.cost.compute.to_bits(),
+            faulty.result.cost.compute.to_bits()
+        );
+        assert_eq!(base.finish, faulty.result.finish);
+    }
+
+    #[test]
+    fn crashes_are_recovered_and_the_run_completes() {
+        let (spec, wf, plan) = env();
+        // High rate: mean TTF 30 min against a ~80 min serial pipeline.
+        let model = FaultModel::uniform_crash(&spec, 2.0);
+        let mut saw_crash = false;
+        for fault_seed in 0..6u64 {
+            let inj = FaultInjector::new(model.clone(), fault_seed);
+            let r = run_with_faults(&spec, &wf, &plan, &inj, RetryConfig::default(), 9);
+            saw_crash |= r.crashes > 0;
+            if r.abandoned.is_empty() {
+                assert!(r.all_done(&wf), "no abandonment => everything ran");
+            }
+            // The ledger always balances against the attempt trace.
+            let audited = audit_compute_cost(&spec, &r.plan, &r.result.attempts);
+            assert!(
+                (audited - r.result.cost.compute).abs() < 1e-9,
+                "ledger drift: audited {audited} vs {}",
+                r.result.cost.compute
+            );
+            assert!(r.retries >= r.crashes.saturating_sub(r.abandoned.len()));
+        }
+        assert!(saw_crash, "rate 2/h must produce crashes across 6 seeds");
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed_pair() {
+        let (spec, wf, plan) = env();
+        let model = FaultModel::uniform_crash(&spec, 1.0);
+        let inj = FaultInjector::new(model, 5);
+        let a = run_with_faults(&spec, &wf, &plan, &inj, RetryConfig::default(), 13);
+        let b = run_with_faults(&spec, &wf, &plan, &inj, RetryConfig::default(), 13);
+        assert_eq!(a.result.makespan.to_bits(), b.result.makespan.to_bits());
+        assert_eq!(a.result.attempts, b.result.attempts);
+        assert_eq!(a.crashes, b.crashes);
+        assert_eq!(a.plan.slots, b.plan.slots);
+    }
+
+    #[test]
+    fn exhausted_retries_abandon_but_never_panic() {
+        let (spec, wf, plan) = env();
+        // Certain boot failure everywhere: nothing can ever run.
+        let model = FaultModel {
+            unbootable_prob: 1.0,
+            ..FaultModel::none()
+        };
+        let inj = FaultInjector::new(model, 2);
+        let r = run_with_faults(
+            &spec,
+            &wf,
+            &plan,
+            &inj,
+            RetryConfig {
+                max_attempts: 2,
+                ..RetryConfig::default()
+            },
+            3,
+        );
+        assert_eq!(r.result.completed, 0);
+        assert!(!r.abandoned.is_empty());
+        assert_eq!(r.result.cost.total(), 0.0, "nothing ran, nothing billed");
+    }
+}

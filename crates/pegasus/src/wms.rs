@@ -4,7 +4,8 @@
 use crate::mapper::ExecutableWorkflow;
 use crate::scheduler::{Requirements, Scheduler};
 use deco_cloud::sim::{run_plan, run_with_policy, RuntimePolicy};
-use deco_cloud::{CloudSpec, MetadataStore};
+use deco_cloud::{CloudSpec, MetadataStore, RetryConfig};
+use deco_faults::{run_with_faults, FaultInjector};
 use deco_prob::stats::Summary;
 use deco_workflow::dax::{parse_dax, DaxError};
 use deco_workflow::Workflow;
@@ -18,6 +19,36 @@ pub struct ExecutionReport {
     pub transfer_cost: f64,
     /// Whether the deadline was met in this run.
     pub met_deadline: bool,
+}
+
+/// How one fault-injected run ended. Every submitted workflow gets
+/// exactly one of these — a member that lost tasks to exhausted retries is
+/// reported `Incomplete`, never silently dropped from the campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every task completed within the deadline.
+    Met,
+    /// Every task completed, but past the deadline.
+    Violated,
+    /// Some tasks were abandoned after exhausting their retry budget.
+    Incomplete {
+        /// Number of abandoned tasks.
+        abandoned: usize,
+    },
+}
+
+/// Outcome of one execution under injected faults.
+#[derive(Debug, Clone)]
+pub struct FaultExecutionReport {
+    pub scheduler: String,
+    pub makespan: f64,
+    pub cost: f64,
+    pub transfer_cost: f64,
+    pub outcome: RunOutcome,
+    /// Attempts killed by instance revocations during this run.
+    pub crashes: usize,
+    /// Killed tasks re-dispatched onto replacement instances.
+    pub retries: usize,
 }
 
 /// The workflow management system.
@@ -96,6 +127,74 @@ impl Pegasus {
         }
     }
 
+    /// Execute a mapped workflow once under injected faults: the engine
+    /// retries killed tasks on replacement instances per `retry`, and the
+    /// report carries an explicit [`RunOutcome`] so lossy runs surface in
+    /// campaign statistics instead of disappearing.
+    pub fn execute_with_faults(
+        &self,
+        exe: &ExecutableWorkflow,
+        req: Requirements,
+        scheduler_name: &str,
+        injector: &FaultInjector,
+        retry: RetryConfig,
+        seed: u64,
+    ) -> FaultExecutionReport {
+        let r = run_with_faults(&self.spec, &exe.workflow, &exe.plan, injector, retry, seed);
+        let outcome = if !r.abandoned.is_empty() {
+            RunOutcome::Incomplete {
+                abandoned: r.abandoned.len(),
+            }
+        } else if r.result.makespan <= req.deadline {
+            RunOutcome::Met
+        } else {
+            RunOutcome::Violated
+        };
+        FaultExecutionReport {
+            scheduler: scheduler_name.to_string(),
+            makespan: r.result.makespan,
+            cost: r.result.cost.total(),
+            transfer_cost: r.result.cost.transfer,
+            outcome,
+            crashes: r.crashes,
+            retries: r.retries,
+        }
+    }
+
+    /// Repeated-run campaign under faults: each run draws an independent
+    /// fault stream (`fault_seed ^ i`) and dynamics stream, and every run
+    /// is accounted for in exactly one outcome bucket.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_many_with_faults(
+        &self,
+        exe: &ExecutableWorkflow,
+        req: Requirements,
+        scheduler_name: &str,
+        model: &deco_faults::FaultModel,
+        retry: RetryConfig,
+        n: usize,
+        fault_seed: u64,
+        seed: u64,
+    ) -> FaultCampaignReport {
+        assert!(n > 0);
+        let mut reports = Vec::with_capacity(n);
+        for i in 0..n {
+            let inj = FaultInjector::new(model.clone(), fault_seed ^ i as u64);
+            reports.push(self.execute_with_faults(
+                exe,
+                req,
+                scheduler_name,
+                &inj,
+                retry,
+                deco_prob::rng::splitmix64(seed ^ i as u64),
+            ));
+        }
+        FaultCampaignReport {
+            scheduler: scheduler_name.to_string(),
+            reports,
+        }
+    }
+
     /// The paper's experimental protocol: run the planned workflow `n`
     /// times against the dynamic cloud; report per-run costs and
     /// makespans plus the fraction of runs meeting the deadline.
@@ -143,6 +242,37 @@ pub struct CampaignReport {
     /// Fraction of runs whose makespan met the deadline (compared against
     /// the probabilistic requirement).
     pub deadline_hit_rate: f64,
+}
+
+/// Aggregate of a fault-injected campaign. `met + violated + incomplete`
+/// always equals the number of runs — the accounting identity the chaos
+/// tests assert.
+#[derive(Debug, Clone)]
+pub struct FaultCampaignReport {
+    pub scheduler: String,
+    pub reports: Vec<FaultExecutionReport>,
+}
+
+impl FaultCampaignReport {
+    pub fn met(&self) -> usize {
+        self.count(|o| o == RunOutcome::Met)
+    }
+    pub fn violated(&self) -> usize {
+        self.count(|o| o == RunOutcome::Violated)
+    }
+    pub fn incomplete(&self) -> usize {
+        self.count(|o| matches!(o, RunOutcome::Incomplete { .. }))
+    }
+    pub fn total_crashes(&self) -> usize {
+        self.reports.iter().map(|r| r.crashes).sum()
+    }
+    pub fn mean_cost(&self) -> f64 {
+        let costs: Vec<f64> = self.reports.iter().map(|r| r.cost).collect();
+        deco_prob::stats::mean(&costs)
+    }
+    fn count(&self, pred: impl Fn(RunOutcome) -> bool) -> usize {
+        self.reports.iter().filter(|r| pred(r.outcome)).count()
+    }
 }
 
 impl CampaignReport {
@@ -248,6 +378,54 @@ mod tests {
             "deco {} should not exceed autoscaling {}",
             deco.mean_cost(),
             auto.mean_cost()
+        );
+    }
+
+    #[test]
+    fn fault_campaign_accounts_for_every_run() {
+        let wms = wms();
+        let wf = generators::montage(1, 25);
+        let r = req(&wf, &wms.spec);
+        let exe = wms.plan(&wf, &SingleTypeScheduler { itype: 0 }, r).unwrap();
+        let model = deco_faults::FaultModel::uniform_crash(&wms.spec, 1.0);
+        let campaign = wms.run_many_with_faults(
+            &exe,
+            r,
+            "m1.small",
+            &model,
+            RetryConfig::default(),
+            12,
+            4,
+            17,
+        );
+        assert_eq!(
+            campaign.met() + campaign.violated() + campaign.incomplete(),
+            campaign.reports.len(),
+            "every run lands in exactly one bucket"
+        );
+        assert!(campaign.total_crashes() > 0, "rate 1/h over 12 runs");
+        assert!(campaign.mean_cost() > 0.0);
+    }
+
+    #[test]
+    fn quiescent_faults_reproduce_the_plain_report() {
+        let wms = wms();
+        let wf = generators::montage(1, 26);
+        let r = req(&wf, &wms.spec);
+        let exe = wms.plan(&wf, &SingleTypeScheduler { itype: 1 }, r).unwrap();
+        let plain = wms.execute(&exe, r, "m1.medium", 21);
+        let inj = FaultInjector::new(deco_faults::FaultModel::none(), 0);
+        let faulty =
+            wms.execute_with_faults(&exe, r, "m1.medium", &inj, RetryConfig::default(), 21);
+        assert_eq!(plain.makespan.to_bits(), faulty.makespan.to_bits());
+        assert_eq!(plain.cost.to_bits(), faulty.cost.to_bits());
+        assert_eq!(
+            faulty.outcome,
+            if plain.met_deadline {
+                RunOutcome::Met
+            } else {
+                RunOutcome::Violated
+            }
         );
     }
 }

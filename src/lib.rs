@@ -11,12 +11,14 @@
 //! * [`gpu`] — the GPU device model used by the parallel solver.
 //! * [`solver`] — the generic / A* search engine.
 //! * [`baselines`] — Autoscaling, SPSS and the follow-the-cost heuristic.
+//! * [`faults`] — deterministic fault injection and the recovery driver.
 //! * [`engine`] — the Deco engine proper (the paper's contribution).
 //! * [`pegasus`] — the workflow management system integration.
 
 pub use deco_baselines as baselines;
 pub use deco_cloud as cloud;
 pub use deco_core as engine;
+pub use deco_faults as faults;
 pub use deco_gpu as gpu;
 pub use deco_pegasus as pegasus;
 pub use deco_prob as prob;

@@ -175,6 +175,42 @@ proptest! {
             "makespan {} below CPU bound {}", r.makespan, cpu_bound);
     }
 
+    /// Fault injection disabled is an exact no-op: for arbitrary DAGs,
+    /// type vectors and seeds, running through the fault-aware driver with
+    /// a quiescent model reproduces the plain simulator *bit for bit* —
+    /// makespan, full cost ledger, per-task finish times and the attempt
+    /// trace. This is the contract that lets the fault subsystem ship
+    /// inside the hot simulator loop without a feature flag.
+    #[test]
+    fn zero_fault_runs_are_bit_identical(
+        n in 2usize..25, p in 0.05f64..0.4,
+        seed in 0u64..60, tseed in 0u64..40, rng_seed in 0u64..1000,
+    ) {
+        use deco::faults::{run_with_faults, FaultInjector, FaultModel};
+        let spec = CloudSpec::amazon_ec2();
+        let wf = generators::random_dag(n, p, seed);
+        let mut trng = seeded(tseed);
+        let types: Vec<usize> = (0..n).map(|_| (trng.next_u64() % 4) as usize).collect();
+        let plan = Plan::packed(&wf, &types, 0, &spec);
+        let base = deco::cloud::run_plan(&spec, &wf, &plan, rng_seed);
+        let inj = FaultInjector::new(FaultModel::none(), seed);
+        let faulty = run_with_faults(
+            &spec, &wf, &plan, &inj,
+            deco::cloud::RetryConfig::default(), rng_seed,
+        );
+        prop_assert!(faulty.all_done(&wf));
+        prop_assert_eq!(faulty.crashes, 0);
+        prop_assert_eq!(faulty.retries, 0);
+        prop_assert_eq!(base.makespan.to_bits(), faulty.result.makespan.to_bits());
+        prop_assert_eq!(base.cost.compute.to_bits(), faulty.result.cost.compute.to_bits());
+        prop_assert_eq!(base.cost.transfer.to_bits(), faulty.result.cost.transfer.to_bits());
+        prop_assert_eq!(&base.finish, &faulty.result.finish);
+        prop_assert_eq!(&base.durations, &faulty.result.durations);
+        for a in &faulty.result.attempts {
+            prop_assert!(a.completed, "no fault may kill an attempt");
+        }
+    }
+
     /// Unification round-trip: after unifying a pattern with a ground
     /// term, resolving the pattern yields exactly that term.
     #[test]
