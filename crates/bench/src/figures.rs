@@ -72,7 +72,7 @@ pub fn fig1(env: &Env) -> Fig1Result {
     for (name, s) in &schedulers {
         let exe = wms
             .plan(&wf, s.as_ref(), req)
-            .unwrap_or_else(|| panic!("{name} failed to plan"));
+            .unwrap_or_else(|e| panic!("{name} failed to plan: {e}"));
         let campaign = wms.run_many(&exe, req, name, env.scale.runs(), ROOT_SEED ^ 0xF161);
         raw.push((
             name.clone(),

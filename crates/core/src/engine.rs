@@ -15,6 +15,7 @@
 //! pipeline with a compiled evaluator; the integration tests cross-check
 //! the two paths on workflows small enough for the interpreter.
 
+use crate::error::DecoError;
 use crate::estimate::ExecTimeTable;
 use crate::scheduling::SchedulingProblem;
 use deco_cloud::{CloudSpec, MetadataStore, Plan};
@@ -23,10 +24,17 @@ use deco_solver::{
     astar_search, beam_search, EvalBackend, Evaluation, SearchOptions, SearchProblem, SearchStats,
 };
 use deco_wlog::ast::Term;
+use deco_wlog::machine::MachineError;
 use deco_wlog::problog::{Evaluator, ProbProgram};
-use deco_wlog::program::{WlogError, WlogProgram};
+use deco_wlog::program::{Goal, WlogProgram};
 use deco_workflow::Workflow;
 use parking_lot::Mutex;
+
+/// IR-construction failures are translation errors: the program validated,
+/// but a clause or weighted group could not be grounded.
+fn translate_err(e: MachineError) -> DecoError {
+    DecoError::Translate(e.0)
+}
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -127,12 +135,15 @@ impl Deco {
         program_src: &str,
         wf: &Workflow,
         backend: &EvalBackend,
-    ) -> Result<DecoPlan, WlogError> {
+    ) -> Result<DecoPlan, DecoError> {
         let program = WlogProgram::parse(program_src)?;
         program.validate()?;
-        let goal = program.goal.clone().expect("validated");
+        let goal = program
+            .goal
+            .clone()
+            .ok_or_else(|| DecoError::Program("no optimization goal declared".into()))?;
         if program.constraints.is_empty() {
-            return Err(WlogError::Program(
+            return Err(DecoError::Program(
                 "scheduling programs need at least one constraint".into(),
             ));
         }
@@ -140,7 +151,7 @@ impl Deco {
         // --- translate to the probabilistic IR (Section 5.1) -------------
         let mut prob = ProbProgram::new();
         for c in &program.clauses {
-            prob.push_certain(c.clone());
+            prob.push_certain(c.clone()).map_err(translate_err)?;
         }
         let k = self.spec().k();
         // Cloud facts from import(cloud): vm ids and per-second prices.
@@ -148,14 +159,16 @@ impl Deco {
             prob.push_certain(deco_wlog::ast::Clause::fact(Term::compound(
                 "vm",
                 vec![vm_atom(j)],
-            )));
+            )))
+            .map_err(translate_err)?;
             prob.push_certain(deco_wlog::ast::Clause::fact(Term::compound(
                 "price",
                 vec![
                     vm_atom(j),
                     Term::num(self.spec().types[j].price_per_hour / 3600.0),
                 ],
-            )));
+            )))
+            .map_err(translate_err)?;
         }
         // Calibrated reliability facts, also part of import(cloud): the
         // region ids and the per-(type, region) crash rates measured by the
@@ -165,7 +178,8 @@ impl Deco {
             prob.push_certain(deco_wlog::ast::Clause::fact(Term::compound(
                 "region",
                 vec![region_atom(r)],
-            )));
+            )))
+            .map_err(translate_err)?;
         }
         for j in 0..k {
             for r in 0..self.spec().regions.len() {
@@ -176,7 +190,8 @@ impl Deco {
                         region_atom(r),
                         Term::num(self.store.fail_rate(j, r)),
                     ],
-                )));
+                )))
+                .map_err(translate_err)?;
             }
         }
         // Workflow facts from import(workflow): tasks, edges, virtual
@@ -185,25 +200,30 @@ impl Deco {
             prob.push_certain(deco_wlog::ast::Clause::fact(Term::compound(
                 "task",
                 vec![task_atom(t.index())],
-            )));
+            )))
+            .map_err(translate_err)?;
         }
         for e in wf.edges() {
             prob.push_certain(edge_fact(
                 task_atom(e.from.index()),
                 task_atom(e.to.index()),
-            ));
+            ))
+            .map_err(translate_err)?;
         }
         for r in wf.roots() {
-            prob.push_certain(edge_fact(Term::atom("root"), task_atom(r.index())));
+            prob.push_certain(edge_fact(Term::atom("root"), task_atom(r.index())))
+                .map_err(translate_err)?;
         }
         for s in wf.sinks() {
-            prob.push_certain(edge_fact(task_atom(s.index()), Term::atom("tail")));
+            prob.push_certain(edge_fact(task_atom(s.index()), Term::atom("tail")))
+                .map_err(translate_err)?;
         }
         // The virtual root costs nothing on any instance.
         prob.push_certain(deco_wlog::ast::Clause::fact(Term::compound(
             "exetime",
             vec![Term::atom("root"), vm_atom(0), Term::num(0.0)],
-        )));
+        )))
+        .map_err(translate_err)?;
         // exetime groups: one annotated disjunction per (task, type), one
         // alternative per histogram bin (the `p_j : exetime(...)` facts).
         let table = ExecTimeTable::build(wf, &self.store, self.options.wlog_bins);
@@ -223,7 +243,7 @@ impl Deco {
                         )
                     })
                     .collect();
-                prob.push_group(alts);
+                prob.push_group(alts).map_err(translate_err)?;
             }
         }
 
@@ -232,13 +252,19 @@ impl Deco {
             .var_functors()
             .first()
             .cloned()
-            .ok_or_else(|| WlogError::Program("no optimization variable".into()))?;
+            .ok_or_else(|| DecoError::Program("no optimization variable".into()))?;
+        if var_functor.1 != 3 {
+            return Err(DecoError::Program(format!(
+                "optimization variable {}/{} must have arity 3 (task, vm, indicator)",
+                var_functor.0, var_functor.1
+            )));
+        }
         let problem = WlogSchedulingProblem {
             wf,
             spec: self.spec(),
-            evaluator: Mutex::new(Evaluator::new(prob)),
+            evaluator: Mutex::new(Evaluator::new(prob).map_err(translate_err)?),
             program: program.clone(),
-            goal_minimize: goal.kind == deco_wlog::program::GoalKind::Minimize,
+            goal,
             var_functor,
             mc_iters: self.options.mc_iters,
             state_bytes: table.state_bytes(),
@@ -258,9 +284,17 @@ impl Deco {
                 &seq,
             )
         };
-        let (types, evaluation) = result
-            .best
-            .ok_or_else(|| WlogError::Program("no feasible provisioning plan found".into()))?;
+        let (types, evaluation) = result.best.ok_or_else(|| {
+            DecoError::Infeasible(if result.stats.truncated {
+                format!(
+                    "no feasible provisioning plan found within the search budget \
+                     ({:.3} ticks spent over {} states)",
+                    result.stats.budget_spent, result.stats.states_evaluated
+                )
+            } else {
+                "no feasible provisioning plan found".into()
+            })
+        })?;
         Ok(DecoPlan {
             plan: Plan::packed(wf, &types, 0, self.spec()),
             types,
@@ -292,25 +326,30 @@ struct WlogSchedulingProblem<'a> {
     spec: &'a CloudSpec,
     evaluator: Mutex<Evaluator>,
     program: WlogProgram,
-    goal_minimize: bool,
+    /// The validated goal, held by value so evaluation never re-inspects
+    /// the program's `Option<Goal>`.
+    goal: Goal,
     var_functor: (String, usize),
     mc_iters: usize,
     state_bytes: usize,
 }
 
 impl WlogSchedulingProblem<'_> {
-    /// The state's `configs` facts: one-hot per task, plus the virtual
-    /// root's fixed configuration.
+    fn goal_minimize(&self) -> bool {
+        self.goal.kind == deco_wlog::program::GoalKind::Minimize
+    }
+
+    /// The state's variable facts (the declared functor, e.g. `configs/3`):
+    /// one-hot per task, plus the virtual root's fixed configuration.
     fn state_facts(&self, s: &[usize]) -> Vec<Term> {
+        let f = self.var_functor.0.as_str();
         let mut facts: Vec<Term> = s
             .iter()
             .enumerate()
-            .map(|(i, &j)| {
-                Term::compound("configs", vec![task_atom(i), vm_atom(j), Term::num(1.0)])
-            })
+            .map(|(i, &j)| Term::compound(f, vec![task_atom(i), vm_atom(j), Term::num(1.0)]))
             .collect();
         facts.push(Term::compound(
-            "configs",
+            f,
             vec![Term::atom("root"), vm_atom(0), Term::num(1.0)],
         ));
         facts
@@ -330,9 +369,18 @@ impl SearchProblem for WlogSchedulingProblem<'_> {
     }
 
     fn evaluate(&self, s: &Vec<usize>, seed: u64) -> Evaluation {
+        let worst = if self.goal_minimize() {
+            f64::INFINITY
+        } else {
+            f64::NEG_INFINITY
+        };
         let mut ev = self.evaluator.lock();
         let (f, a) = (self.var_functor.0.as_str(), self.var_functor.1);
-        ev.set_state_facts(f, a, self.state_facts(s));
+        if ev.set_state_facts(f, a, self.state_facts(s)).is_err() {
+            // A state whose facts do not ground is unschedulable, not a
+            // panic: report it as maximally infeasible and keep searching.
+            return Evaluation::infeasible(worst);
+        }
         let mut rng = deco_prob::rng::seeded(seed);
         // Constraints first (Algorithm 2 line 5 queries feasibility and
         // cost of the state).
@@ -350,16 +398,9 @@ impl SearchProblem for WlogSchedulingProblem<'_> {
                 }
             }
         }
-        let goal = self.program.goal.as_ref().expect("validated");
-        let objective = match ev.goal_value(goal, self.mc_iters, &mut rng) {
+        let objective = match ev.goal_value(&self.goal, self.mc_iters, &mut rng) {
             Ok(est) => est.value,
-            Err(_) => {
-                return Evaluation::infeasible(if self.goal_minimize {
-                    f64::INFINITY
-                } else {
-                    f64::NEG_INFINITY
-                })
-            }
+            Err(_) => return Evaluation::infeasible(worst),
         };
         Evaluation {
             feasible,
@@ -369,7 +410,7 @@ impl SearchProblem for WlogSchedulingProblem<'_> {
     }
 
     fn minimize(&self) -> bool {
-        self.goal_minimize
+        self.goal_minimize()
     }
 
     fn state_bytes(&self) -> usize {
@@ -443,7 +484,7 @@ totalcost(Ct) :- findall(C, cost(Tid,Vid,C), Bag), sum(Bag, Ct).
         let err = d
             .plan_workflow_wlog(&example1(1.0, 99), &wf, &EvalBackend::SeqCpu)
             .unwrap_err();
-        assert!(matches!(err, WlogError::Program(_)));
+        assert!(matches!(err, DecoError::Infeasible(_)));
     }
 
     #[test]

@@ -1,3 +1,7 @@
+// User-facing paths return typed errors; panicking shortcuts are banned
+// from library code (tests may still unwrap).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 //! Deco — the declarative optimization engine (the paper's contribution).
 //!
 //! The engine's pipeline is Figure 3: a WLog program plus a workflow (DAX)
@@ -30,11 +34,20 @@
 //!   regions minimizing cost under deadlines.
 //! * [`engine`] — the WLog front end tying everything together.
 
+//! * [`error`] — the unified [`DecoError`] taxonomy every user-facing
+//!   path returns instead of panicking.
+//! * [`supervisor`] — the degradation chain (Deco → heuristic →
+//!   autoscaling) that always hands back a plan, with provenance.
+
 pub mod engine;
 pub mod ensemble;
+pub mod error;
 pub mod estimate;
 pub mod followcost;
 pub mod scheduling;
+pub mod supervisor;
 
 pub use engine::{Deco, DecoOptions, DecoPlan};
+pub use error::DecoError;
 pub use scheduling::{ObjectiveMode, SchedulingProblem};
+pub use supervisor::{plan_with_fallback, PlanProvenance, PlanStage, StageSkip, SupervisedPlan};

@@ -47,6 +47,28 @@ impl KernelTiming {
     }
 }
 
+/// Deterministic device-model cost ("ticks") of one kernel launch.
+///
+/// Unlike [`model`], which consumes *measured* single-core host seconds,
+/// this assumes one unit of work per lane-thread per block, so the result
+/// depends only on the launch shape `(blocks, threads, bytes)` and the
+/// device — never on wall-clock noise. Anytime-search budgets are charged
+/// in these ticks, which makes budget truncation bit-reproducible: the
+/// same seed and the same tick budget always cut the search at the same
+/// batch boundary.
+pub fn model_ticks(
+    device: &DeviceSpec,
+    blocks: usize,
+    threads_per_block: usize,
+    block_bytes: usize,
+) -> f64 {
+    if blocks == 0 {
+        return 0.0;
+    }
+    let unit_work = vec![threads_per_block as f64; blocks];
+    model(device, &unit_work, threads_per_block, block_bytes).modeled_seconds
+}
+
 /// Compute the modeled kernel time.
 ///
 /// `block_host_seconds[b]` is the measured single-core time of block `b`'s
@@ -126,6 +148,19 @@ mod tests {
         let spilled = model(&d, &[1.0; 15], 192, 160 * 1024);
         assert!(spilled.modeled_seconds > fit.modeled_seconds * 2.0);
         assert!(spilled.speedup_vs_sequential() < fit.speedup_vs_sequential());
+    }
+
+    #[test]
+    fn ticks_are_deterministic_and_scale_with_waves() {
+        let d = DeviceSpec::k40();
+        let a = model_ticks(&d, 10, 64, 1024);
+        let b = model_ticks(&d, 10, 64, 1024);
+        assert_eq!(a.to_bits(), b.to_bits(), "shape-only cost is exact");
+        // Twice the SM count of blocks -> two waves -> twice the ticks.
+        let one_wave = model_ticks(&d, d.sms, 64, 1024);
+        let two_waves = model_ticks(&d, 2 * d.sms, 64, 1024);
+        assert!((two_waves - 2.0 * one_wave).abs() < 1e-12);
+        assert_eq!(model_ticks(&d, 0, 64, 1024), 0.0);
     }
 
     #[test]

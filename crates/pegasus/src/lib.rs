@@ -22,4 +22,7 @@ pub use mapper::ExecutableWorkflow;
 pub use scheduler::{
     AutoscalingScheduler, DecoScheduler, RandomScheduler, Scheduler, SingleTypeScheduler,
 };
-pub use wms::{ExecutionReport, Pegasus};
+pub use wms::{
+    ExecutionReport, FaultCampaignReport, FaultExecutionReport, Pegasus, RunOutcome,
+    SupervisedCampaignReport,
+};

@@ -8,6 +8,7 @@
 //! file of a task and which site the task should execute on".
 
 use deco_cloud::{CloudSpec, Plan};
+use deco_core::DecoError;
 use deco_workflow::{TaskId, Workflow};
 
 /// One mapped task: executable plus site binding.
@@ -32,8 +33,8 @@ pub struct ExecutableWorkflow {
 
 impl ExecutableWorkflow {
     /// Bind `wf` to `plan`'s sites.
-    pub fn map(wf: &Workflow, plan: &Plan, spec: &CloudSpec) -> Result<Self, String> {
-        plan.validate(wf, spec)?;
+    pub fn map(wf: &Workflow, plan: &Plan, spec: &CloudSpec) -> Result<Self, DecoError> {
+        plan.validate(wf, spec).map_err(DecoError::Plan)?;
         let mapped = wf
             .tasks()
             .map(|t| {
@@ -94,6 +95,7 @@ mod tests {
         let spec = CloudSpec::amazon_ec2();
         let wf = generators::pipeline(3, 1.0, 0);
         let plan = Plan::single_type(2, 0, 0);
-        assert!(ExecutableWorkflow::map(&wf, &plan, &spec).is_err());
+        let err = ExecutableWorkflow::map(&wf, &plan, &spec).unwrap_err();
+        assert!(matches!(err, DecoError::Plan(_)), "{err}");
     }
 }

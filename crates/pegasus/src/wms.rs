@@ -5,8 +5,11 @@ use crate::mapper::ExecutableWorkflow;
 use crate::scheduler::{Requirements, Scheduler};
 use deco_cloud::sim::{run_plan, run_with_policy, RuntimePolicy};
 use deco_cloud::{CloudSpec, MetadataStore, RetryConfig};
+use deco_core::supervisor::{plan_with_fallback, PlanProvenance};
+use deco_core::{Deco, DecoError};
 use deco_faults::{run_with_faults, FaultInjector};
 use deco_prob::stats::Summary;
+use deco_solver::SearchBudget;
 use deco_workflow::dax::{parse_dax, DaxError};
 use deco_workflow::Workflow;
 
@@ -28,6 +31,10 @@ pub struct ExecutionReport {
 pub enum RunOutcome {
     /// Every task completed within the deadline.
     Met,
+    /// Every task completed within the deadline, but on a degraded plan
+    /// (the supervisor fell back past the full-quality Deco stage, or the
+    /// search was truncated by its budget).
+    MetDegraded,
     /// Every task completed, but past the deadline.
     Violated,
     /// Some tasks were abandoned after exhausting their retry budget.
@@ -76,9 +83,13 @@ impl Pegasus {
         wf: &Workflow,
         scheduler: &dyn Scheduler,
         req: Requirements,
-    ) -> Option<ExecutableWorkflow> {
-        let plan = scheduler.schedule(wf, &self.spec, &self.store, req)?;
-        ExecutableWorkflow::map(wf, &plan, &self.spec).ok()
+    ) -> Result<ExecutableWorkflow, DecoError> {
+        let plan = scheduler
+            .schedule(wf, &self.spec, &self.store, req)
+            .ok_or_else(|| {
+                DecoError::Infeasible("scheduler found no plan meeting the requirements".into())
+            })?;
+        ExecutableWorkflow::map(wf, &plan, &self.spec)
     }
 
     /// Execute a mapped workflow once against the dynamic cloud.
@@ -195,6 +206,77 @@ impl Pegasus {
         }
     }
 
+    /// Supervised fault campaign: plan through the degradation chain
+    /// ([`plan_with_fallback`]), execute `n` fault-injected runs, and —
+    /// when a run loses tasks to exhausted retries (instance loss) —
+    /// consult the supervisor again with the *remaining* deterministic
+    /// budget before retrying that run once on the fresh plan. Deadline
+    /// hits on degraded plans are reported [`RunOutcome::MetDegraded`], so
+    /// campaign statistics separate optimizer-quality hits from
+    /// fallback-quality hits.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_many_with_faults_supervised(
+        &self,
+        deco: &Deco,
+        wf: &Workflow,
+        req: Requirements,
+        model: &deco_faults::FaultModel,
+        retry: RetryConfig,
+        n: usize,
+        fault_seed: u64,
+        seed: u64,
+        budget: &SearchBudget,
+    ) -> Result<SupervisedCampaignReport, DecoError> {
+        assert!(n > 0);
+        let name = "supervised";
+        let sup = plan_with_fallback(deco, wf, req.deadline, req.percentile, budget)?;
+        let mut remaining = budget.minus_ticks(sup.provenance.budget_spent);
+        let mut exe = ExecutableWorkflow::map(wf, &sup.plan.plan, &self.spec)?;
+        let mut provenance = sup.provenance;
+        let mut reports = Vec::with_capacity(n);
+        let mut replans = 0usize;
+        for i in 0..n {
+            let inj = FaultInjector::new(model.clone(), fault_seed ^ i as u64);
+            let mut r = self.execute_with_faults(
+                &exe,
+                req,
+                name,
+                &inj,
+                retry,
+                deco_prob::rng::splitmix64(seed ^ i as u64),
+            );
+            if matches!(r.outcome, RunOutcome::Incomplete { .. }) {
+                // Instance loss defeated the retry budget: replan with
+                // whatever deterministic budget is left and retry once.
+                let again = plan_with_fallback(deco, wf, req.deadline, req.percentile, &remaining)?;
+                remaining = remaining.minus_ticks(again.provenance.budget_spent);
+                exe = ExecutableWorkflow::map(wf, &again.plan.plan, &self.spec)?;
+                provenance = again.provenance;
+                replans += 1;
+                r = self.execute_with_faults(
+                    &exe,
+                    req,
+                    name,
+                    &inj,
+                    retry,
+                    deco_prob::rng::splitmix64(seed ^ i as u64 ^ 0x5EED),
+                );
+            }
+            if r.outcome == RunOutcome::Met && provenance.degraded() {
+                r.outcome = RunOutcome::MetDegraded;
+            }
+            reports.push(r);
+        }
+        Ok(SupervisedCampaignReport {
+            report: FaultCampaignReport {
+                scheduler: name.to_string(),
+                reports,
+            },
+            provenance,
+            replans,
+        })
+    }
+
     /// The paper's experimental protocol: run the planned workflow `n`
     /// times against the dynamic cloud; report per-run costs and
     /// makespans plus the fraction of runs meeting the deadline.
@@ -253,9 +335,23 @@ pub struct FaultCampaignReport {
     pub reports: Vec<FaultExecutionReport>,
 }
 
+/// A fault campaign planned and re-planned through the supervisor.
+#[derive(Debug, Clone)]
+pub struct SupervisedCampaignReport {
+    pub report: FaultCampaignReport,
+    /// Provenance of the plan the campaign ended on.
+    pub provenance: PlanProvenance,
+    /// Times the supervisor was re-consulted after instance loss.
+    pub replans: usize,
+}
+
 impl FaultCampaignReport {
     pub fn met(&self) -> usize {
         self.count(|o| o == RunOutcome::Met)
+    }
+    /// Deadline hits achieved on a degraded (fallback or truncated) plan.
+    pub fn met_degraded(&self) -> usize {
+        self.count(|o| o == RunOutcome::MetDegraded)
     }
     pub fn violated(&self) -> usize {
         self.count(|o| o == RunOutcome::Violated)
@@ -314,7 +410,7 @@ mod tests {
     fn dax_submission_round_trips() {
         let wms = wms();
         let wf = generators::montage(1, 20);
-        let submitted = wms.submit_dax(&emit_dax(&wf)).unwrap();
+        let submitted = wms.submit_dax(&emit_dax(&wf).unwrap()).unwrap();
         assert_eq!(submitted.len(), wf.len());
     }
 
@@ -405,6 +501,108 @@ mod tests {
         );
         assert!(campaign.total_crashes() > 0, "rate 1/h over 12 runs");
         assert!(campaign.mean_cost() > 0.0);
+    }
+
+    #[test]
+    fn supervised_campaign_under_tiny_budget_reports_degraded_hits() {
+        let wms = wms();
+        let wf = generators::montage(1, 27);
+        let r = req(&wf, &wms.spec);
+        let mut deco = Deco::new(wms.store.clone());
+        deco.options.mc_iters = 40;
+        deco.options.search.max_states = 400;
+        let campaign = wms
+            .run_many_with_faults_supervised(
+                &deco,
+                &wf,
+                r,
+                &deco_faults::FaultModel::none(),
+                RetryConfig::default(),
+                5,
+                3,
+                19,
+                &SearchBudget::ticks(1e-12),
+            )
+            .expect("supervisor always plans");
+        assert!(campaign.provenance.degraded());
+        assert!(campaign.provenance.truncated);
+        let rep = &campaign.report;
+        assert_eq!(rep.met(), 0, "degraded plans never report plain Met");
+        assert_eq!(
+            rep.met_degraded() + rep.violated() + rep.incomplete(),
+            rep.reports.len(),
+            "every run lands in exactly one bucket"
+        );
+    }
+
+    #[test]
+    fn supervised_campaign_with_full_budget_reports_plain_met() {
+        let wms = wms();
+        let wf = generators::montage(1, 28);
+        let r = req(&wf, &wms.spec);
+        let mut deco = Deco::new(wms.store.clone());
+        deco.options.mc_iters = 60;
+        deco.options.search.max_states = 400;
+        let campaign = wms
+            .run_many_with_faults_supervised(
+                &deco,
+                &wf,
+                r,
+                &deco_faults::FaultModel::none(),
+                RetryConfig::default(),
+                8,
+                5,
+                23,
+                &SearchBudget::unlimited(),
+            )
+            .expect("unbudgeted supervision");
+        assert_eq!(
+            campaign.provenance.stage,
+            deco_core::supervisor::PlanStage::Deco
+        );
+        assert!(!campaign.provenance.degraded());
+        assert_eq!(campaign.report.met_degraded(), 0);
+        assert_eq!(campaign.replans, 0, "no faults, no instance loss");
+        assert!(campaign.report.met() > 0, "deco meets a medium deadline");
+    }
+
+    #[test]
+    fn supervised_campaign_replans_within_the_remaining_budget() {
+        // An aggressive crash rate with a stingy retry budget forces
+        // Incomplete runs, which must trigger supervisor replans.
+        let wms = wms();
+        let wf = generators::montage(1, 29);
+        let r = req(&wf, &wms.spec);
+        let mut deco = Deco::new(wms.store.clone());
+        deco.options.mc_iters = 40;
+        deco.options.search.max_states = 200;
+        let model = deco_faults::FaultModel::uniform_crash(&wms.spec, 50.0);
+        let retry = RetryConfig {
+            max_attempts: 1,
+            ..RetryConfig::default()
+        };
+        let campaign = wms
+            .run_many_with_faults_supervised(
+                &deco,
+                &wf,
+                r,
+                &model,
+                retry,
+                6,
+                9,
+                31,
+                &SearchBudget::unlimited(),
+            )
+            .expect("supervised");
+        assert!(
+            campaign.replans > 0,
+            "50/h crash rate with one attempt must lose instances"
+        );
+        let rep = &campaign.report;
+        assert_eq!(
+            rep.met() + rep.met_degraded() + rep.violated() + rep.incomplete(),
+            rep.reports.len()
+        );
     }
 
     #[test]

@@ -2,8 +2,61 @@
 
 use crate::eval::{evaluate_batch, EvalBackend, Evaluation};
 use crate::SearchProblem;
+use deco_gpu::model_ticks;
 use std::collections::{BinaryHeap, HashSet, VecDeque};
 use std::time::Instant;
+
+/// An anytime budget for one search (Section 6's requirement that solver
+/// overhead stays small relative to workflow makespan).
+///
+/// The primary budget is **deterministic**: device-model ticks computed by
+/// [`deco_gpu::model_ticks`] from launch shapes alone, so the same seed and
+/// the same budget always truncate at the same batch boundary and return
+/// the same incumbent. The wall-clock guard is an optional safety net for
+/// pathological evaluators; it trades that reproducibility for a hard
+/// real-time ceiling, so leave it `None` in deterministic pipelines.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchBudget {
+    /// Deterministic budget in device-model ticks ([`deco_gpu::model_ticks`]).
+    pub ticks: Option<f64>,
+    /// Non-deterministic wall-clock guard in host seconds.
+    pub wall_seconds: Option<f64>,
+}
+
+impl SearchBudget {
+    /// No budget: searches run to `max_states`/patience exactly as before.
+    pub fn unlimited() -> Self {
+        SearchBudget::default()
+    }
+
+    /// A deterministic tick budget with no wall-clock guard.
+    pub fn ticks(ticks: f64) -> Self {
+        SearchBudget {
+            ticks: Some(ticks),
+            wall_seconds: None,
+        }
+    }
+
+    pub fn is_unlimited(&self) -> bool {
+        self.ticks.is_none() && self.wall_seconds.is_none()
+    }
+
+    /// Remaining tick budget after `spent`, floored at zero. Unlimited
+    /// budgets stay unlimited.
+    pub fn minus_ticks(&self, spent: f64) -> Self {
+        SearchBudget {
+            ticks: self.ticks.map(|t| (t - spent).max(0.0)),
+            wall_seconds: self.wall_seconds,
+        }
+    }
+
+    fn exhausted(&self, spent_ticks: f64, t0: &Instant) -> bool {
+        self.ticks.is_some_and(|b| spent_ticks >= b)
+            || self
+                .wall_seconds
+                .is_some_and(|b| t0.elapsed().as_secs_f64() >= b)
+    }
+}
 
 /// Search controls.
 #[derive(Debug, Clone)]
@@ -19,6 +72,11 @@ pub struct SearchOptions {
     pub batch: usize,
     /// Root seed for the per-state Monte-Carlo seeds.
     pub seed: u64,
+    /// Anytime budget: on exhaustion the search returns the best incumbent
+    /// found so far with `SearchStats::truncated` set. The default is
+    /// unlimited, which leaves behavior bit-identical to an unbudgeted
+    /// search.
+    pub budget: SearchBudget,
 }
 
 impl Default for SearchOptions {
@@ -28,6 +86,7 @@ impl Default for SearchOptions {
             patience: 8,
             batch: 64,
             seed: 0xD5C0,
+            budget: SearchBudget::unlimited(),
         }
     }
 }
@@ -43,6 +102,24 @@ pub struct SearchStats {
     pub host_eval_seconds: f64,
     /// Wall-clock of the whole search on the host.
     pub wall_seconds: f64,
+    /// Deterministic device-model ticks charged against the budget.
+    pub budget_spent: f64,
+    /// Whether the budget cut the search before its natural stop.
+    pub truncated: bool,
+}
+
+impl SearchStats {
+    /// The deterministic subset of the stats: everything except the two
+    /// measured host timings. Two runs with the same seed and budget must
+    /// agree on this tuple exactly — the anytime determinism contract.
+    pub fn deterministic_key(&self) -> (usize, usize, u64, bool) {
+        (
+            self.states_evaluated,
+            self.batches,
+            self.budget_spent.to_bits(),
+            self.truncated,
+        )
+    }
 }
 
 /// Result: the incumbent (best feasible state) and stats.
@@ -90,6 +167,12 @@ pub fn generic_search<P: SearchProblem>(
         stats.batches += 1;
         stats.modeled_eval_seconds += timing.modeled_seconds;
         stats.host_eval_seconds += timing.host_seconds;
+        stats.budget_spent += model_ticks(
+            &backend.device(),
+            batch.len(),
+            problem.threads_per_state(),
+            problem.state_bytes(),
+        );
 
         let mut improved = false;
         for (state, eval) in batch.iter().zip(&evals) {
@@ -101,6 +184,12 @@ pub fn generic_search<P: SearchProblem>(
                 best = Some((state.clone(), *eval));
                 improved = true;
             }
+        }
+        if opts.budget.exhausted(stats.budget_spent, &t0) {
+            stats.truncated = true;
+            break;
+        }
+        for state in &batch {
             for child in problem.neighbors(state) {
                 if visited.insert(child.clone()) {
                     queue.push_back(child);
@@ -173,6 +262,12 @@ pub fn beam_search<P: SearchProblem>(
             stats.batches += 1;
             stats.modeled_eval_seconds += timing.modeled_seconds;
             stats.host_eval_seconds += timing.host_seconds;
+            stats.budget_spent += model_ticks(
+                &backend.device(),
+                batch.len(),
+                problem.threads_per_state(),
+                problem.state_bytes(),
+            );
 
             let mut improved = false;
             for (state, eval) in batch.iter().zip(&evals) {
@@ -186,6 +281,10 @@ pub fn beam_search<P: SearchProblem>(
                 }
             }
             pool.extend(batch.into_iter().zip(evals));
+            if opts.budget.exhausted(stats.budget_spent, &t0) {
+                stats.truncated = true;
+                break;
+            }
             stale = if improved { 0 } else { stale + 1 };
             if best.is_some() && stale >= opts.patience {
                 break;
@@ -274,6 +373,12 @@ pub fn astar_search<P: SearchProblem>(
     stats.batches += 1;
     stats.modeled_eval_seconds += timing.modeled_seconds;
     stats.host_eval_seconds += timing.host_seconds;
+    stats.budget_spent += model_ticks(
+        &backend.device(),
+        1,
+        problem.threads_per_state(),
+        problem.state_bytes(),
+    );
     let e0 = evals[0];
     if e0.feasible {
         best = Some((init.clone(), e0));
@@ -283,6 +388,12 @@ pub fn astar_search<P: SearchProblem>(
         minimize,
         state: init,
     });
+
+    if opts.budget.exhausted(stats.budget_spent, &t0) {
+        stats.truncated = true;
+        stats.wall_seconds = t0.elapsed().as_secs_f64();
+        return SearchResult { best, stats };
+    }
 
     let mut stale = 0usize;
     while let Some(top) = (stats.states_evaluated < opts.max_states)
@@ -312,6 +423,12 @@ pub fn astar_search<P: SearchProblem>(
         stats.batches += 1;
         stats.modeled_eval_seconds += timing.modeled_seconds;
         stats.host_eval_seconds += timing.host_seconds;
+        stats.budget_spent += model_ticks(
+            &backend.device(),
+            batch.len(),
+            problem.threads_per_state(),
+            problem.state_bytes(),
+        );
         let mut improved = false;
         for (state, eval) in batch.iter().zip(&evals) {
             if eval.feasible
@@ -327,6 +444,10 @@ pub fn astar_search<P: SearchProblem>(
                 minimize,
                 state: state.clone(),
             });
+        }
+        if opts.budget.exhausted(stats.budget_spent, &t0) {
+            stats.truncated = true;
+            break;
         }
         stale = if improved { 0 } else { stale + 1 };
         if best.is_some() && stale >= opts.patience * 8 {
@@ -515,6 +636,119 @@ mod tests {
         };
         let r = beam_search(&p, &SearchOptions::default(), 1, &EvalBackend::SeqCpu);
         assert_eq!(r.best.unwrap().1.objective, 5.0);
+    }
+
+    #[test]
+    fn tiny_tick_budget_truncates_with_incumbent() {
+        let p = Threshold {
+            n: 6,
+            k: 4,
+            target: 2,
+        };
+        // One batch of budget: enough to evaluate the root's first frontier
+        // but nowhere near the full space.
+        let opts = SearchOptions {
+            budget: SearchBudget::ticks(1e-9),
+            ..Default::default()
+        };
+        for r in [
+            generic_search(&p, &opts, &EvalBackend::SeqCpu),
+            beam_search(&p, &opts, 4, &EvalBackend::SeqCpu),
+            astar_search(&p, &opts, &EvalBackend::SeqCpu),
+        ] {
+            assert!(r.stats.truncated, "near-zero budget must truncate");
+            assert!(r.stats.budget_spent > 0.0);
+            assert!(r.stats.batches >= 1, "the first batch always runs");
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_is_bit_identical_to_default() {
+        let p = Threshold {
+            n: 5,
+            k: 4,
+            target: 8,
+        };
+        let plain = SearchOptions::default();
+        let explicit = SearchOptions {
+            budget: SearchBudget::unlimited(),
+            ..Default::default()
+        };
+        for (a, b) in [
+            (
+                generic_search(&p, &plain, &EvalBackend::SeqCpu),
+                generic_search(&p, &explicit, &EvalBackend::SeqCpu),
+            ),
+            (
+                beam_search(&p, &plain, 4, &EvalBackend::SeqCpu),
+                beam_search(&p, &explicit, 4, &EvalBackend::SeqCpu),
+            ),
+            (
+                astar_search(&p, &plain, &EvalBackend::SeqCpu),
+                astar_search(&p, &explicit, &EvalBackend::SeqCpu),
+            ),
+        ] {
+            assert!(!a.stats.truncated && !b.stats.truncated);
+            assert_eq!(a.stats.deterministic_key(), b.stats.deterministic_key());
+            assert_eq!(
+                a.best
+                    .as_ref()
+                    .map(|(s, e)| (s.clone(), e.objective.to_bits())),
+                b.best
+                    .as_ref()
+                    .map(|(s, e)| (s.clone(), e.objective.to_bits())),
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_same_budget_same_truncation() {
+        let p = Threshold {
+            n: 8,
+            k: 4,
+            target: 20,
+        };
+        let d = deco_gpu::DeviceSpec::cpu(4);
+        // Budget for roughly three batches of 64 states.
+        let per_batch = model_ticks(&d, 64, p.threads_per_state(), p.state_bytes());
+        let opts = SearchOptions {
+            budget: SearchBudget::ticks(3.0 * per_batch),
+            ..Default::default()
+        };
+        let backend = EvalBackend::SeqCpu;
+        type Run<'a> = Box<dyn Fn(&SearchOptions, &EvalBackend) -> SearchResult<Vec<usize>> + 'a>;
+        let runs: Vec<Run<'_>> = vec![
+            Box::new(|o, b| generic_search(&p, o, b)),
+            Box::new(|o, b| beam_search(&p, o, 4, b)),
+            Box::new(|o, b| astar_search(&p, o, b)),
+        ];
+        for run in runs {
+            let a = run(&opts, &backend);
+            let b = run(&opts, &backend);
+            assert_eq!(
+                a.stats.deterministic_key(),
+                b.stats.deterministic_key(),
+                "anytime determinism: same seed + budget => same stats"
+            );
+            assert_eq!(
+                a.best
+                    .as_ref()
+                    .map(|(s, e)| (s.clone(), e.objective.to_bits())),
+                b.best
+                    .as_ref()
+                    .map(|(s, e)| (s.clone(), e.objective.to_bits())),
+                "anytime determinism: same seed + budget => same incumbent"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_remaining_arithmetic() {
+        let b = SearchBudget::ticks(10.0);
+        assert_eq!(b.minus_ticks(4.0).ticks, Some(6.0));
+        assert_eq!(b.minus_ticks(40.0).ticks, Some(0.0));
+        assert!(SearchBudget::unlimited().minus_ticks(1e9).is_unlimited());
+        assert!(!b.is_unlimited());
     }
 
     #[test]

@@ -1,3 +1,7 @@
+// User-facing paths return typed errors; panicking shortcuts are banned
+// from library code (tests may still unwrap).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 //! WLog — the declarative specification language of Deco (Section 4).
 //!
 //! WLog extends ProLog in two directions: constructs for scientific

@@ -46,13 +46,23 @@ impl Database {
         Self::default()
     }
 
+    /// Add a clause whose head has already been validated as callable
+    /// (atom or compound). Pre-validated internal paths use this; anything
+    /// consuming user input goes through [`Database::try_assert`].
     pub fn assert(&mut self, c: Clause) {
+        self.try_assert(c).expect("clause head must be callable");
+    }
+
+    /// Add a clause, rejecting non-callable heads (e.g. the fact `5.`,
+    /// which parses but cannot be indexed) instead of panicking.
+    pub fn try_assert(&mut self, c: Clause) -> Result<(), MachineError> {
         let (f, n) = c
             .head
             .functor()
             .map(|(f, n)| (f.to_string(), n))
-            .expect("clause head must be callable");
+            .ok_or_else(|| MachineError(format!("clause head is not callable: {}", c.head)))?;
         self.clauses.entry((f, n)).or_default().push(c);
+        Ok(())
     }
 
     pub fn assert_fact(&mut self, head: Term) {
@@ -207,7 +217,12 @@ impl Machine {
                 self.solve(&new_goals, b, f)
             }
             Term::Compound(op, args) if op == "$cut" && args.len() == 1 => {
-                let id = args[0].as_num().unwrap() as u64;
+                // `$cut` is compiled from `!` with a numeric frame id; a
+                // hand-written `$cut(x)` must not crash the interpreter.
+                let id = args[0]
+                    .as_num()
+                    .ok_or_else(|| MachineError("malformed $cut barrier".into()))?
+                    as u64;
                 match self.solve(rest, b, f)? {
                     Flow::Continue => Ok(Flow::Cut(id)),
                     other => Ok(other),
@@ -408,7 +423,7 @@ impl Machine {
                         _ => f64::NAN,
                     }
                 };
-                let best = items
+                let Some(best) = items
                     .iter()
                     .max_by(|a, c| {
                         let (ka, kc) = (key(a), key(c));
@@ -419,8 +434,10 @@ impl Machine {
                             ord.reverse()
                         }
                     })
-                    .unwrap()
-                    .clone();
+                    .cloned()
+                else {
+                    return Ok(Flow::Continue);
+                };
                 let mark = b.mark();
                 if b.unify(&args[1], &best) {
                     let r = self.solve(rest, b, f)?;

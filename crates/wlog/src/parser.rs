@@ -16,22 +16,76 @@ use crate::ast::{Clause, Term};
 use crate::lexer::{lex, Tok};
 use crate::program::{Constraint, ConstraintKind, Goal, GoalKind, VarDecl, WlogProgram};
 
-/// Parse error with byte position.
+/// Parse error with byte position, line/column span, and a caret snippet
+/// of the offending source line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
+    /// Byte offset into the source.
     pub pos: usize,
+    /// 1-based line of `pos`.
+    pub line: usize,
+    /// 1-based column (in characters) of `pos` within its line.
+    pub col: usize,
     pub msg: String,
+    /// The source line containing `pos` (empty if the source was empty).
+    pub src_line: String,
+}
+
+impl ParseError {
+    /// Build an error at byte `pos` of `src`, resolving the line/column
+    /// span and capturing the offending line for the caret snippet.
+    pub fn at(src: &str, pos: usize, msg: impl Into<String>) -> Self {
+        let pos = pos.min(src.len());
+        let before = &src[..pos];
+        let line = before.matches('\n').count() + 1;
+        let line_start = before.rfind('\n').map(|i| i + 1).unwrap_or(0);
+        let col = src[line_start..pos].chars().count() + 1;
+        let line_end = src[pos..].find('\n').map(|i| pos + i).unwrap_or(src.len());
+        ParseError {
+            pos,
+            line,
+            col,
+            msg: msg.into(),
+            src_line: src[line_start..line_end].to_string(),
+        }
+    }
+
+    /// Render the offending line with a `^` caret under the error column,
+    /// `rustc`-style:
+    ///
+    /// ```text
+    ///   |
+    /// 3 | minimize in f(C).
+    ///   |          ^
+    /// ```
+    pub fn caret_snippet(&self) -> String {
+        let gutter = self.line.to_string();
+        let pad = " ".repeat(gutter.len());
+        let caret_indent = " ".repeat(self.col.saturating_sub(1));
+        format!(
+            "{pad} |\n{gutter} | {line}\n{pad} | {caret_indent}^",
+            line = self.src_line
+        )
+    }
 }
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "parse error at byte {}: {}", self.pos, self.msg)
+        write!(
+            f,
+            "parse error at line {}, column {}: {}\n{}",
+            self.line,
+            self.col,
+            self.msg,
+            self.caret_snippet()
+        )
     }
 }
 
 impl std::error::Error for ParseError {}
 
 struct Parser {
+    src: String,
     toks: Vec<(usize, Tok)>,
     i: usize,
 }
@@ -40,11 +94,12 @@ const CMP_OPS: [&str; 7] = ["==", "\\==", "=<", ">=", "=:=", "<", ">"];
 
 impl Parser {
     fn new(src: &str) -> Result<Self, ParseError> {
-        let toks = lex(src).map_err(|e| ParseError {
-            pos: e.pos,
-            msg: e.msg,
-        })?;
-        Ok(Parser { toks, i: 0 })
+        let toks = lex(src).map_err(|e| ParseError::at(src, e.pos, e.msg))?;
+        Ok(Parser {
+            src: src.to_string(),
+            toks,
+            i: 0,
+        })
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -70,10 +125,7 @@ impl Parser {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError {
-            pos: self.pos(),
-            msg: msg.into(),
-        })
+        Err(ParseError::at(&self.src, self.pos(), msg))
     }
 
     fn eat(&mut self, t: &Tok) -> Result<(), ParseError> {
@@ -536,5 +588,43 @@ Bag), sum(Bag, Ct).
         assert!(parse_clauses("p(a) q(b).").is_err());
         assert!(parse_query("p(a) extra").is_err());
         assert!(parse_program("minimize in f(C).").is_err());
+    }
+
+    #[test]
+    fn golden_caret_snippet_goal_without_variable() {
+        let e = parse_program("minimize in f(C).").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert_eq!(
+            e.to_string(),
+            "parse error at line 1, column 13: goal expects a variable, found Some(Atom(\"in\"))\n  \
+             |\n\
+             1 | minimize in f(C).\n  \
+             |             ^"
+        );
+    }
+
+    #[test]
+    fn golden_caret_snippet_bad_constraint_mid_program() {
+        let src = "import(amazonec2).\n\
+                   minimize Ct in totalcost(Ct).\n\
+                   T in maxtime(P,T) satisfies frob(95, 10).\n";
+        let e = parse_program(src).unwrap_err();
+        assert_eq!((e.line, e.col), (3, 41));
+        assert_eq!(
+            e.to_string(),
+            "parse error at line 3, column 41: constraint must be deadline(p,b), budget(p,b), atmost(b) or atleast(b)\n  \
+             |\n\
+             3 | T in maxtime(P,T) satisfies frob(95, 10).\n  \
+             |                                         ^"
+        );
+    }
+
+    #[test]
+    fn caret_spans_survive_eof_and_empty_sources() {
+        let e = parse_program("p(a)").unwrap_err();
+        assert!(e.line >= 1 && e.col >= 1);
+        let e = parse_query("").unwrap_err();
+        assert_eq!((e.line, e.col), (1, 1));
+        assert_eq!(e.src_line, "");
     }
 }

@@ -50,26 +50,41 @@ impl ProbProgram {
         Self::default()
     }
 
-    pub fn push_certain(&mut self, c: Clause) {
+    pub fn push_certain(&mut self, c: Clause) -> Result<(), MachineError> {
+        check_callable(&c.head)?;
         self.certain.push(c);
+        Ok(())
     }
 
-    pub fn push_independent(&mut self, prob: f64, clause: Clause) {
-        assert!(
-            (0.0..=1.0).contains(&prob),
-            "probability out of range: {prob}"
-        );
+    pub fn push_independent(&mut self, prob: f64, clause: Clause) -> Result<(), MachineError> {
+        if !(0.0..=1.0).contains(&prob) {
+            return Err(MachineError(format!("probability out of range: {prob}")));
+        }
+        check_callable(&clause.head)?;
         self.independent.push(ProbRule { prob, clause });
+        Ok(())
     }
 
     /// Add a group of mutually exclusive alternatives; weights are
     /// normalized.
-    pub fn push_group(&mut self, alts: Vec<(f64, Term)>) {
-        assert!(!alts.is_empty(), "empty annotated disjunction");
-        let total: f64 = alts.iter().map(|(p, _)| p).sum();
-        assert!(total > 0.0, "group must carry positive mass");
+    pub fn push_group(&mut self, alts: Vec<(f64, Term)>) -> Result<(), MachineError> {
+        if alts.is_empty() {
+            return Err(MachineError("empty annotated disjunction".into()));
+        }
+        let mut total = 0.0;
+        for (p, t) in &alts {
+            if !p.is_finite() || *p < 0.0 {
+                return Err(MachineError(format!("bad alternative weight {p}")));
+            }
+            check_callable(t)?;
+            total += p;
+        }
+        if total <= 0.0 {
+            return Err(MachineError("group must carry positive mass".into()));
+        }
         self.groups
             .push(alts.into_iter().map(|(p, t)| (p / total, t)).collect());
+        Ok(())
     }
 
     /// Total number of weighted rules (the `Rule[1..n]` array of
@@ -79,6 +94,13 @@ impl ProbProgram {
             + self.independent.len()
             + self.groups.iter().map(|g| g.len()).sum::<usize>()
     }
+}
+
+fn check_callable(head: &Term) -> Result<(), MachineError> {
+    if head.functor().is_none() {
+        return Err(MachineError(format!("rule head is not callable: {head}")));
+    }
+    Ok(())
 }
 
 /// Evaluates queries against a probabilistic program, keeping a single
@@ -93,36 +115,59 @@ pub struct Evaluator {
 }
 
 impl Evaluator {
-    pub fn new(program: ProbProgram) -> Self {
+    /// Build an evaluator. Fails (instead of panicking) when a certain
+    /// clause's head is not callable — possible when a `ProbProgram` is
+    /// assembled directly rather than through the checked `push_*` methods.
+    pub fn new(program: ProbProgram) -> Result<Self, MachineError> {
         let mut db = Database::new();
         for c in &program.certain {
-            db.assert(c.clone());
+            db.try_assert(c.clone())?;
+        }
+        // Re-validate the probabilistic rules so the per-realization
+        // overlay asserts in `sample_realization` can never fail.
+        for r in &program.independent {
+            check_callable(&r.clause.head)?;
+        }
+        for g in &program.groups {
+            if g.is_empty() {
+                return Err(MachineError("empty annotated disjunction".into()));
+            }
+            for (_, t) in g {
+                check_callable(t)?;
+            }
         }
         let group_samplers = program
             .groups
             .iter()
             .map(|g| CdfSampler::from_probs(g.iter().map(|(p, _)| *p)))
             .collect();
-        Evaluator {
+        Ok(Evaluator {
             machine: Machine::new(db),
             program,
             group_samplers,
-        }
+        })
     }
 
     /// Replace the search-state facts of one functor (e.g. `configs/3`)
     /// with a new set — how the solver moves between states (Algorithm 2,
-    /// line 4).
-    pub fn set_state_facts(&mut self, functor: &str, arity: usize, facts: Vec<Term>) {
+    /// line 4). Every fact must have exactly the functor/arity being
+    /// swapped, otherwise stale facts would leak between states.
+    pub fn set_state_facts(
+        &mut self,
+        functor: &str,
+        arity: usize,
+        facts: Vec<Term>,
+    ) -> Result<(), MachineError> {
         self.machine.db.retract_all(functor, arity);
         for f in facts {
-            assert_eq!(
-                f.functor().map(|(n, a)| (n.to_string(), a)),
-                Some((functor.to_string(), arity)),
-                "state fact shape mismatch"
-            );
-            self.machine.db.assert_fact(f);
+            if f.functor() != Some((functor, arity)) {
+                return Err(MachineError(format!(
+                    "state fact {f} does not match {functor}/{arity}"
+                )));
+            }
+            self.machine.db.try_assert(Clause::fact(f))?;
         }
+        Ok(())
     }
 
     /// Sample one realization into the machine's overlay.
@@ -323,8 +368,8 @@ mod tests {
     #[test]
     fn success_probability_of_independent_fact() {
         let mut p = ProbProgram::new();
-        p.push_independent(0.3, clause("rain."));
-        let mut e = Evaluator::new(p);
+        p.push_independent(0.3, clause("rain.")).unwrap();
+        let mut e = Evaluator::new(p).unwrap();
         let mut rng = seeded(1);
         let est = e
             .success_probability(&parse_query("rain").unwrap(), 20_000, &mut rng)
@@ -336,11 +381,11 @@ mod tests {
     fn independent_facts_combine_like_problog() {
         // P(wet) = 1 - (1-0.3)(1-0.5) = 0.65 when two independent causes.
         let mut p = ProbProgram::new();
-        p.push_independent(0.3, clause("rain."));
-        p.push_independent(0.5, clause("sprinkler."));
-        p.push_certain(clause("wet :- rain."));
-        p.push_certain(clause("wet :- sprinkler."));
-        let mut e = Evaluator::new(p);
+        p.push_independent(0.3, clause("rain.")).unwrap();
+        p.push_independent(0.5, clause("sprinkler.")).unwrap();
+        p.push_certain(clause("wet :- rain.")).unwrap();
+        p.push_certain(clause("wet :- sprinkler.")).unwrap();
+        let mut e = Evaluator::new(p).unwrap();
         let mut rng = seeded(2);
         let est = e
             .success_probability(&parse_query("wet").unwrap(), 30_000, &mut rng)
@@ -354,8 +399,9 @@ mod tests {
         p.push_group(vec![
             (0.5, parse_query("speed(10)").unwrap()),
             (0.5, parse_query("speed(20)").unwrap()),
-        ]);
-        let mut e = Evaluator::new(p);
+        ])
+        .unwrap();
+        let mut e = Evaluator::new(p).unwrap();
         let mut rng = seeded(3);
         // Exactly one speed per realization.
         for _ in 0..100 {
@@ -375,14 +421,16 @@ mod tests {
         p.push_group(vec![
             (0.25, parse_query("exetime(t0, 10)").unwrap()),
             (0.75, parse_query("exetime(t0, 20)").unwrap()),
-        ]);
-        p.push_certain(clause("cost(C) :- exetime(t0, T), C is T*2."));
+        ])
+        .unwrap();
+        p.push_certain(clause("cost(C) :- exetime(t0, T), C is T*2."))
+            .unwrap();
         let goal = Goal {
             kind: GoalKind::Minimize,
             var: "C".into(),
             query: parse_query("cost(C)").unwrap(),
         };
-        let mut e = Evaluator::new(p);
+        let mut e = Evaluator::new(p).unwrap();
         let mut rng = seeded(4);
         let est = e.goal_value(&goal, 20_000, &mut rng).unwrap();
         assert!((est.value - 35.0).abs() < 0.5, "got {}", est.value);
@@ -395,8 +443,9 @@ mod tests {
         p.push_group(vec![
             (0.9, parse_query("time(8)").unwrap()),
             (0.1, parse_query("time(12)").unwrap()),
-        ]);
-        let mut e = Evaluator::new(p);
+        ])
+        .unwrap();
+        let mut e = Evaluator::new(p).unwrap();
         let mut rng = seeded(5);
         let cons = |pct: f64| Constraint {
             var: "T".into(),
@@ -416,8 +465,8 @@ mod tests {
     #[test]
     fn deterministic_constraints_use_the_mean() {
         let mut p = ProbProgram::new();
-        p.push_certain(clause("v(7)."));
-        let mut e = Evaluator::new(p);
+        p.push_certain(clause("v(7).")).unwrap();
+        let mut e = Evaluator::new(p).unwrap();
         let mut rng = seeded(6);
         let atmost = Constraint {
             var: "X".into(),
@@ -436,19 +485,22 @@ mod tests {
     #[test]
     fn state_facts_swap_between_states() {
         let mut p = ProbProgram::new();
-        p.push_certain(clause("cost(C) :- cfg(V), price(V, P), C is P."));
-        p.push_certain(clause("price(v0, 10)."));
-        p.push_certain(clause("price(v1, 99)."));
+        p.push_certain(clause("cost(C) :- cfg(V), price(V, P), C is P."))
+            .unwrap();
+        p.push_certain(clause("price(v0, 10).")).unwrap();
+        p.push_certain(clause("price(v1, 99).")).unwrap();
         let goal = Goal {
             kind: GoalKind::Minimize,
             var: "C".into(),
             query: parse_query("cost(C)").unwrap(),
         };
-        let mut e = Evaluator::new(p);
+        let mut e = Evaluator::new(p).unwrap();
         let mut rng = seeded(7);
-        e.set_state_facts("cfg", 1, vec![parse_query("cfg(v0)").unwrap()]);
+        e.set_state_facts("cfg", 1, vec![parse_query("cfg(v0)").unwrap()])
+            .unwrap();
         assert_eq!(e.goal_value(&goal, 5, &mut rng).unwrap().value, 10.0);
-        e.set_state_facts("cfg", 1, vec![parse_query("cfg(v1)").unwrap()]);
+        e.set_state_facts("cfg", 1, vec![parse_query("cfg(v1)").unwrap()])
+            .unwrap();
         assert_eq!(e.goal_value(&goal, 5, &mut rng).unwrap().value, 99.0);
     }
 
@@ -460,7 +512,7 @@ mod tests {
             var: "C".into(),
             query: parse_query("nosuch(C)").unwrap(),
         };
-        let mut e = Evaluator::new(p);
+        let mut e = Evaluator::new(p).unwrap();
         let mut rng = seeded(8);
         assert!(e.goal_value(&goal, 3, &mut rng).is_err());
     }
@@ -471,8 +523,9 @@ mod tests {
         p.push_group(vec![
             (2.0, parse_query("x(1)").unwrap()),
             (6.0, parse_query("x(2)").unwrap()),
-        ]);
-        let mut e = Evaluator::new(p);
+        ])
+        .unwrap();
+        let mut e = Evaluator::new(p).unwrap();
         let mut rng = seeded(9);
         let est = e
             .success_probability(&parse_query("x(2)").unwrap(), 10_000, &mut rng)
@@ -483,12 +536,13 @@ mod tests {
     #[test]
     fn rule_count_counts_everything() {
         let mut p = ProbProgram::new();
-        p.push_certain(clause("a."));
-        p.push_independent(0.5, clause("b."));
+        p.push_certain(clause("a.")).unwrap();
+        p.push_independent(0.5, clause("b.")).unwrap();
         p.push_group(vec![
             (0.5, parse_query("c(1)").unwrap()),
             (0.5, parse_query("c(2)").unwrap()),
-        ]);
+        ])
+        .unwrap();
         assert_eq!(p.rule_count(), 4);
     }
 }

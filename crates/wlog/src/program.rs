@@ -127,6 +127,24 @@ impl WlogProgram {
                 "enabled(astar) requires cal_g_score/1 and est_h_score/1".into(),
             ));
         }
+        // Heads must be callable so grounding them into the database can
+        // never panic (the fact `5.` parses but cannot be indexed).
+        for c in &self.clauses {
+            if c.head.functor().is_none() {
+                return Err(WlogError::Program(format!(
+                    "clause head is not callable: {}",
+                    c.head
+                )));
+            }
+        }
+        for v in &self.vars {
+            if v.template.functor().is_none() {
+                return Err(WlogError::Program(format!(
+                    "optimization variable template is not callable: {}",
+                    v.template
+                )));
+            }
+        }
         Ok(())
     }
 

@@ -34,8 +34,9 @@ impl Bindings {
     /// Unwind every binding made since `mark`.
     pub fn undo(&mut self, mark: Mark) {
         while self.trail.len() > mark.0 {
-            let v = self.trail.pop().unwrap();
-            self.map.remove(&v);
+            if let Some(v) = self.trail.pop() {
+                self.map.remove(&v);
+            }
         }
     }
 

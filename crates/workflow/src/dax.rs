@@ -169,13 +169,13 @@ impl<'a> XmlReader<'a> {
             }
             self.pos += 1;
             self.skip_ws();
-            let quote = self.bytes.get(self.pos).copied();
-            if quote != Some(b'"') && quote != Some(b'\'') {
-                return Err(self.err("attribute value must be quoted"));
-            }
+            let quote = match self.bytes.get(self.pos).copied() {
+                Some(q @ (b'"' | b'\'')) => q,
+                _ => return Err(self.err("attribute value must be quoted")),
+            };
             self.pos += 1;
             let start = self.pos;
-            while self.pos < self.bytes.len() && self.bytes[self.pos] != quote.unwrap() {
+            while self.pos < self.bytes.len() && self.bytes[self.pos] != quote {
                 self.pos += 1;
             }
             if self.pos >= self.bytes.len() {
@@ -376,27 +376,38 @@ pub fn parse_dax(doc: &str) -> Result<Workflow, DaxError> {
 /// `parse_dax(emit_dax(w))` then reconstructs the same graph, profiles and
 /// edge bytes, provided same-size edges from one parent really do share a
 /// file (true for every generator in this crate).
-pub fn emit_dax(w: &Workflow) -> String {
+///
+/// Fails with [`DaxError::Graph`] when the workflow's edge tables are
+/// inconsistent (an edge listed by `children` but missing its byte count)
+/// — impossible for workflows built through [`Workflow`]'s own API, but a
+/// diagnostic rather than a crash for hand-assembled graphs.
+pub fn emit_dax(w: &Workflow) -> Result<String, DaxError> {
+    let bytes_of = |from: TaskId, to: TaskId| -> Result<f64, DaxError> {
+        w.edge_bytes(from, to)
+            .ok_or_else(|| DaxError::Graph(format!("edge {from}->{to} has no byte count")))
+    };
     // Per parent: distinct outgoing byte values, in first-seen order.
-    let out_groups: Vec<Vec<f64>> = w
-        .task_ids()
-        .map(|t| {
-            let mut groups: Vec<f64> = Vec::new();
-            for c in w.children(t) {
-                let b = w.edge_bytes(t, c).unwrap();
-                if !groups.iter().any(|&g| (g - b).abs() < 0.5) {
-                    groups.push(b);
-                }
+    let mut out_groups: Vec<Vec<f64>> = Vec::with_capacity(w.len());
+    for t in w.task_ids() {
+        let mut groups: Vec<f64> = Vec::new();
+        for c in w.children(t) {
+            let b = bytes_of(t, c)?;
+            if !groups.iter().any(|&g| (g - b).abs() < 0.5) {
+                groups.push(b);
             }
-            groups
-        })
-        .collect();
-    let file_of = |parent: TaskId, bytes: f64| -> String {
+        }
+        out_groups.push(groups);
+    }
+    let file_of = |parent: TaskId, bytes: f64| -> Result<String, DaxError> {
         let g = out_groups[parent.index()]
             .iter()
             .position(|&v| (v - bytes).abs() < 0.5)
-            .expect("edge bytes must be in the parent's group table");
-        format!("f_{parent}_g{g}")
+            .ok_or_else(|| {
+                DaxError::Graph(format!(
+                    "edge bytes {bytes} missing from parent {parent}'s group table"
+                ))
+            })?;
+        Ok(format!("f_{parent}_g{g}"))
     };
 
     let mut s = String::new();
@@ -413,10 +424,10 @@ pub fn emit_dax(w: &Workflow) -> String {
             escape(&t.executable),
             t.profile.cpu_seconds
         ));
-        let in_edges: f64 = w
-            .parents(t.id)
-            .map(|p| w.edge_bytes(p, t.id).unwrap())
-            .sum();
+        let mut in_edges = 0.0;
+        for p in w.parents(t.id) {
+            in_edges += bytes_of(p, t.id)?;
+        }
         let out_files: f64 = out_groups[t.id.index()].iter().sum();
         let ext_in = (t.profile.read_bytes - in_edges).max(0.0);
         let ext_out = (t.profile.write_bytes - out_files).max(0.0);
@@ -427,10 +438,10 @@ pub fn emit_dax(w: &Workflow) -> String {
             ));
         }
         for p in w.parents(t.id) {
-            let bytes = w.edge_bytes(p, t.id).unwrap();
+            let bytes = bytes_of(p, t.id)?;
             s.push_str(&format!(
                 "    <uses file=\"{}\" link=\"input\" size=\"{}\"/>\n",
-                file_of(p, bytes),
+                file_of(p, bytes)?,
                 bytes
             ));
         }
@@ -463,7 +474,7 @@ pub fn emit_dax(w: &Workflow) -> String {
         s.push_str("  </child>\n");
     }
     s.push_str("</adag>\n");
-    s
+    Ok(s)
 }
 
 #[cfg(test)]
@@ -525,6 +536,51 @@ mod tests {
     }
 
     #[test]
+    fn rejects_truncated_documents_at_every_cut() {
+        // Chopping a valid document anywhere must yield a typed error (or,
+        // for a lucky cut, a valid prefix) — never a panic.
+        for cut in 0..PIPELINE_DAX.len() {
+            if !PIPELINE_DAX.is_char_boundary(cut) {
+                continue;
+            }
+            let _ = parse_dax(&PIPELINE_DAX[..cut]);
+        }
+        // A cut mid-job is specifically an XML error.
+        let mid = PIPELINE_DAX.find("process2").unwrap();
+        assert!(matches!(
+            parse_dax(&PIPELINE_DAX[..mid]),
+            Err(DaxError::Xml(..))
+        ));
+        // A cut mid-attribute-value (inside an opening quote) too.
+        let q = PIPELINE_DAX.find("f.a").unwrap();
+        assert!(matches!(
+            parse_dax(&PIPELINE_DAX[..q]),
+            Err(DaxError::Xml(..))
+        ));
+    }
+
+    #[test]
+    fn rejects_attribute_missing_documents() {
+        // <job> without id.
+        let no_id = r#"<adag name="x"><job name="p" runtime="1"/></adag>"#;
+        assert!(matches!(parse_dax(no_id), Err(DaxError::Semantic(_))));
+        // <uses> without file.
+        let no_file = r#"<adag name="x"><job id="a" name="p" runtime="1"><uses link="input" size="3"/></job></adag>"#;
+        assert!(matches!(parse_dax(no_file), Err(DaxError::Semantic(_))));
+        // <child>/<parent> without ref.
+        let no_ref = r#"<adag name="x"><job id="a" name="p" runtime="1"/><child><parent ref="a"/></child></adag>"#;
+        assert!(matches!(parse_dax(no_ref), Err(DaxError::Semantic(_))));
+        let no_pref = r#"<adag name="x"><job id="a" name="p" runtime="1"/><child ref="a"><parent/></child></adag>"#;
+        assert!(matches!(parse_dax(no_pref), Err(DaxError::Semantic(_))));
+        // Unquoted attribute value.
+        let unquoted = r#"<adag name=x></adag>"#;
+        assert!(matches!(parse_dax(unquoted), Err(DaxError::Xml(..))));
+        // Bad numeric attributes.
+        let bad_runtime = r#"<adag name="x"><job id="a" name="p" runtime="soon"/></adag>"#;
+        assert!(matches!(parse_dax(bad_runtime), Err(DaxError::Semantic(_))));
+    }
+
+    #[test]
     fn handles_comments_and_self_closing() {
         let doc = r#"<?xml version="1.0"?><!-- hi --><adag name="w"><job id="a" name="p" runtime="2"/></adag>"#;
         let w = parse_dax(doc).unwrap();
@@ -535,7 +591,7 @@ mod tests {
     fn attribute_escaping_round_trips() {
         let mut w = Workflow::new("has \"quotes\" & <angles>");
         w.add_task("a", "exe&", crate::task::TaskProfile::new(1.0, 0.0, 0.0));
-        let re = parse_dax(&emit_dax(&w)).unwrap();
+        let re = parse_dax(&emit_dax(&w).unwrap()).unwrap();
         assert_eq!(re.name, w.name);
         assert_eq!(re.task(crate::task::TaskId(0)).executable, "exe&");
     }
@@ -543,7 +599,7 @@ mod tests {
     #[test]
     fn emit_parse_round_trip_montage() {
         let w = generators::montage(1, 42);
-        let re = parse_dax(&emit_dax(&w)).unwrap();
+        let re = parse_dax(&emit_dax(&w).unwrap()).unwrap();
         assert_eq!(re.len(), w.len());
         assert_eq!(re.edges().count(), w.edges().count());
         for (a, b) in w.tasks().zip(re.tasks()) {
@@ -568,7 +624,7 @@ mod tests {
     #[test]
     fn emit_parse_round_trip_pipeline_generator() {
         let w = generators::pipeline(5, 10.0, 1 << 20);
-        let re = parse_dax(&emit_dax(&w)).unwrap();
+        let re = parse_dax(&emit_dax(&w).unwrap()).unwrap();
         assert_eq!(re.len(), 5);
         assert_eq!(re.topo_order().len(), 5);
     }

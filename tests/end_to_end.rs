@@ -23,7 +23,7 @@ fn dax_to_execution_full_pipeline() {
     // and executes. This is the paper's Figure 3 flow end to end.
     let store = store();
     let original = generators::montage(1, 31);
-    let dax_text = emit_dax(&original);
+    let dax_text = emit_dax(&original).expect("emit");
     let wms = Pegasus::new(store);
     let wf = wms.submit_dax(&dax_text).expect("valid DAX");
     assert_eq!(wf.len(), original.len());
@@ -213,7 +213,7 @@ fn scheduler_callouts_are_interchangeable() {
     for s in schedulers {
         let exe = wms
             .plan(&wf, s.as_ref(), req)
-            .unwrap_or_else(|| panic!("{}", s.name()));
+            .unwrap_or_else(|e| panic!("{}: {e}", s.name()));
         let r = wms.execute(&exe, req, s.name(), 5);
         assert!(r.makespan > 0.0, "{} produced an empty run", s.name());
     }
@@ -228,7 +228,9 @@ fn dax_survives_wms_round_trip_for_all_apps() {
         generators::ligo(20, 40),
         generators::epigenomics(20, 40),
     ] {
-        let re = wms.submit_dax(&emit_dax(&wf)).expect("round trip");
+        let re = wms
+            .submit_dax(&emit_dax(&wf).expect("emit"))
+            .expect("round trip");
         assert_eq!(re.len(), wf.len(), "{}", wf.name);
         assert_eq!(re.edges().count(), wf.edges().count(), "{}", wf.name);
         // And the reparsed workflow is plannable.

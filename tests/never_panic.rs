@@ -1,0 +1,149 @@
+//! Never-panic properties: arbitrary and mutated user input — WLog source
+//! text and DAX documents — must flow through parse → validate → plan as
+//! typed [`DecoError`]s, never as panics. The CI fuzz-smoke step re-runs
+//! this suite at an elevated `PROPTEST_CASES` count.
+
+use deco::cloud::{CloudSpec, MetadataStore};
+use deco::engine::supervisor::plan_with_fallback;
+use deco::engine::Deco;
+use deco::solver::{EvalBackend, SearchBudget};
+use deco::wlog::program::WlogProgram;
+use deco::workflow::dax::{emit_dax, parse_dax};
+use deco::workflow::generators;
+use proptest::prelude::*;
+
+/// A WLog program every byte mutation starts from (Example 1's shape).
+const WLOG_SEED_SRC: &str = r#"
+import(amazonec2).
+import(workflow).
+minimize Ct in totalcost(Ct).
+T in maxtime(Path,T) satisfies deadline(90%, 3000s).
+configs(Tid,Vid,Con) forall task(Tid) and vm(Vid).
+cost(Tid,Vid,C) :- price(Vid,Up), exetime(Tid,Vid,T),
+  configs(Tid,Vid,Con), C is T*Up*Con.
+totalcost(Ct) :- findall(C, cost(Tid,Vid,C), Bag), sum(Bag, Ct).
+maxtime(Path,T) :- totalcost(T).
+"#;
+
+fn tiny_deco() -> Deco {
+    let spec = CloudSpec::amazon_ec2();
+    let store = MetadataStore::from_ground_truth(spec, 10);
+    let mut d = Deco::new(store);
+    // Keep the plan stage cheap: the property is "no panic", not quality.
+    d.options.mc_iters = 4;
+    d.options.search.max_states = 12;
+    d.options.wlog_bins = 2;
+    d
+}
+
+/// Feed one candidate WLog source through the full pipeline. Each layer is
+/// allowed to reject; none is allowed to panic.
+fn drive_wlog(src: &str) {
+    let program = match WlogProgram::parse(src) {
+        Ok(p) => p,
+        Err(e) => {
+            // Diagnostics must render (the caret snippet does char math).
+            let _ = e.to_string();
+            return;
+        }
+    };
+    if program.validate().is_err() {
+        return;
+    }
+    let d = tiny_deco();
+    let wf = generators::pipeline(2, 300.0, 1 << 20);
+    match d.plan_workflow_wlog(src, &wf, &EvalBackend::SeqCpu) {
+        Ok(plan) => assert_eq!(plan.types.len(), wf.len()),
+        Err(e) => {
+            let _ = e.to_string();
+        }
+    }
+}
+
+/// Feed one candidate DAX document through parse → plan-with-fallback.
+fn drive_dax(doc: &str) {
+    let wf = match parse_dax(doc) {
+        Ok(wf) => wf,
+        Err(e) => {
+            let _ = e.to_string();
+            return;
+        }
+    };
+    let d = tiny_deco();
+    // A near-zero budget lands on the cheap fallback stages immediately;
+    // structurally unusable workflows (e.g. zero tasks) must come back as
+    // typed errors.
+    match plan_with_fallback(&d, &wf, 1000.0, 0.9, &SearchBudget::ticks(1e-12)) {
+        Ok(sup) => assert_eq!(sup.plan.types.len(), wf.len()),
+        Err(e) => {
+            let _ = e.to_string();
+        }
+    }
+}
+
+/// Apply `edits` random single-byte edits (replace, insert, or delete) to
+/// `src`, staying within printable-ish bytes so parsers see plausible text.
+fn mutate(src: &str, picks: &[(usize, u8, u8)]) -> String {
+    let mut bytes = src.as_bytes().to_vec();
+    for &(pos, op, byte) in picks {
+        if bytes.is_empty() {
+            break;
+        }
+        let i = pos % bytes.len();
+        match op % 3 {
+            0 => bytes[i] = byte,
+            1 => bytes.insert(i, byte),
+            _ => {
+                bytes.remove(i);
+            }
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::default())]
+
+    /// Arbitrary bytes, lossily decoded, never panic the WLog pipeline.
+    #[test]
+    fn arbitrary_bytes_never_panic_wlog(bytes in proptest::collection::vec(0u8..255, 0..160)) {
+        drive_wlog(&String::from_utf8_lossy(&bytes));
+    }
+
+    /// Byte-level mutations of a valid program never panic the pipeline —
+    /// this population actually reaches validate and plan.
+    #[test]
+    fn mutated_programs_never_panic_wlog(
+        picks in proptest::collection::vec((0usize..4096, 0u8..3, 32u8..127), 1..6)
+    ) {
+        drive_wlog(&mutate(WLOG_SEED_SRC, &picks));
+    }
+
+    /// Arbitrary bytes never panic the DAX loader.
+    #[test]
+    fn arbitrary_bytes_never_panic_dax(bytes in proptest::collection::vec(0u8..255, 0..200)) {
+        drive_dax(&String::from_utf8_lossy(&bytes));
+    }
+
+    /// Byte-level mutations of a valid DAX document never panic parse →
+    /// plan; documents that survive parsing plan through the supervisor.
+    #[test]
+    fn mutated_documents_never_panic_dax(
+        seed in 0u64..50,
+        picks in proptest::collection::vec((0usize..65536, 0u8..3, 32u8..127), 1..8)
+    ) {
+        let doc = emit_dax(&generators::montage(1, seed)).unwrap();
+        drive_dax(&mutate(&doc, &picks));
+    }
+
+    /// Every truncation of a valid program is rejected or planned, never a
+    /// panic (the EOF paths of the parser).
+    #[test]
+    fn truncated_programs_never_panic(cut in 0usize..4096) {
+        let src = WLOG_SEED_SRC;
+        let cut = cut % (src.len() + 1);
+        if src.is_char_boundary(cut) {
+            drive_wlog(&src[..cut]);
+        }
+    }
+}

@@ -21,7 +21,7 @@ proptest! {
     #[test]
     fn dax_round_trip_random_dags(n in 2usize..40, p in 0.02f64..0.4, seed in 0u64..500) {
         let wf = generators::random_dag(n, p, seed);
-        let re = parse_dax(&emit_dax(&wf)).unwrap();
+        let re = parse_dax(&emit_dax(&wf).unwrap()).unwrap();
         prop_assert_eq!(re.len(), wf.len());
         prop_assert_eq!(re.edges().count(), wf.edges().count());
         for (a, b) in wf.tasks().zip(re.tasks()) {

@@ -23,8 +23,15 @@ pub mod test_runner {
 
     impl Default for Config {
         fn default() -> Self {
-            // Smaller than upstream's 256: these run in tier-1 CI.
-            Config { cases: 64 }
+            // Smaller than upstream's 256: these run in tier-1 CI. Like
+            // upstream, `PROPTEST_CASES` overrides the default so a fuzz
+            // smoke step can crank the case count without code changes.
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&c| c > 0)
+                .unwrap_or(64);
+            Config { cases }
         }
     }
 
@@ -128,6 +135,25 @@ pub mod strategy {
         fn generate(&self, rng: &mut TestRng) -> f32 {
             assert!(self.start < self.end, "empty range strategy");
             self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    /// Tuples of strategies generate tuples of values (as upstream).
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
         }
     }
 
