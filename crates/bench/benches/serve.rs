@@ -1,0 +1,163 @@
+//! Plan-serving throughput: cold solves vs warm cache hits.
+//!
+//! Two criterion groups measure the serving engine end to end: `cold`
+//! replays a trace of distinct workflows against a fresh server (every
+//! request is a full supervised solve), `warm` replays the same trace
+//! against a pre-warmed server (every request is a content-addressed
+//! cache hit). Beyond the criterion output, the bench writes
+//! `BENCH_serve.json` at the repository root: measured cold and warm
+//! requests/sec, their ratio (acceptance: warm ≥ 5× cold), plus the
+//! hit rate and queue-wait percentiles of the 200-request mixed
+//! Ligo/Montage smoke trace at 4 workers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use deco_cloud::{CloudSpec, MetadataStore};
+use deco_core::estimate::deadline_anchors;
+use deco_core::Deco;
+use deco_serve::{Arrival, ArrivalTrace, PlanRequest, PlanServer, ServeConfig};
+use deco_workflow::generators;
+use deco_workflow::Workflow;
+use std::time::{Duration, Instant};
+
+const WORKERS: usize = 4;
+
+fn engine() -> Deco {
+    let spec = CloudSpec::amazon_ec2();
+    let store = MetadataStore::from_ground_truth(spec, 25);
+    let mut d = Deco::new(store);
+    d.options.mc_iters = 30;
+    d.options.search.max_states = 150;
+    d
+}
+
+fn shapes() -> Vec<Workflow> {
+    let mut shapes = Vec::new();
+    for s in 0..4u64 {
+        shapes.push(generators::montage(1, 80 + s));
+        shapes.push(generators::ligo(12, 80 + s));
+    }
+    shapes
+}
+
+fn request_for(wf: Workflow, tenant: u32, spec: &CloudSpec) -> PlanRequest {
+    let (dmin, dmax) = deadline_anchors(&wf, spec);
+    PlanRequest {
+        tenant,
+        workflow: wf,
+        deadline: 0.5 * (dmin + dmax),
+        percentile: 0.9,
+        budget_hint: None,
+    }
+}
+
+/// One request per distinct shape: all cold on a fresh server, all warm
+/// on a warmed one.
+fn distinct_trace(spec: &CloudSpec) -> ArrivalTrace {
+    let arrivals = shapes()
+        .into_iter()
+        .enumerate()
+        .map(|(i, wf)| Arrival {
+            at_tick: 0.0,
+            request: request_for(wf, i as u32 % 4, spec),
+        })
+        .collect();
+    ArrivalTrace::new(arrivals)
+}
+
+/// The CI smoke trace: 200 mixed Ligo/Montage requests from 4 tenants.
+fn smoke_trace(spec: &CloudSpec) -> ArrivalTrace {
+    let shapes = shapes();
+    let arrivals = (0..200u32)
+        .map(|i| Arrival {
+            at_tick: f64::from(i) * 1e9,
+            request: request_for(shapes[(i as usize) % shapes.len()].clone(), i % 4, spec),
+        })
+        .collect();
+    ArrivalTrace::new(arrivals)
+}
+
+fn serve(c: &mut Criterion) {
+    let deco = engine();
+    let spec = deco.store.spec.clone();
+    let trace = distinct_trace(&spec);
+
+    let mut group = c.benchmark_group("serve");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500));
+    group.bench_function("cold_8_distinct", |b| {
+        b.iter(|| {
+            let mut server = PlanServer::new(engine(), ServeConfig::default());
+            black_box(server.serve_trace(black_box(&trace), WORKERS))
+        })
+    });
+    let mut warmed = PlanServer::new(engine(), ServeConfig::default());
+    warmed.serve_trace(&trace, WORKERS);
+    group.bench_function("warm_8_hits", |b| {
+        b.iter(|| black_box(warmed.serve_trace(black_box(&trace), WORKERS)))
+    });
+    group.finish();
+
+    // Hand-timed throughput for the JSON: engine construction excluded so
+    // the ratio compares serving paths, not calibration.
+    let reps = 5;
+    let mut cold_secs = 0.0;
+    for _ in 0..reps {
+        let mut server = PlanServer::new(deco.clone(), ServeConfig::default());
+        let t0 = Instant::now();
+        let (responses, stats) = server.serve_trace(&trace, WORKERS);
+        cold_secs += t0.elapsed().as_secs_f64();
+        assert_eq!(responses.len(), trace.len());
+        assert_eq!(stats.misses as usize, trace.len(), "fresh server: all cold");
+    }
+    let cold_rps = (reps * trace.len()) as f64 / cold_secs;
+
+    let mut server = PlanServer::new(deco.clone(), ServeConfig::default());
+    server.serve_trace(&trace, WORKERS); // warm the cache
+    let mut warm_secs = 0.0;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let (_, stats) = server.serve_trace(&trace, WORKERS);
+        warm_secs += t0.elapsed().as_secs_f64();
+        assert_eq!(stats.hits as usize, trace.len(), "warmed server: all hits");
+    }
+    let warm_rps = (reps * trace.len()) as f64 / warm_secs;
+    let speedup = warm_rps / cold_rps;
+
+    // The smoke trace's serving statistics.
+    let mut smoke_server = PlanServer::new(deco, ServeConfig::default());
+    let (smoke_responses, smoke) = smoke_server.serve_trace(&smoke_trace(&spec), WORKERS);
+    println!(
+        "serve cold {cold_rps:.1} req/s  warm {warm_rps:.1} req/s  speedup {speedup:.1}x  \
+         smoke hit_rate {:.3} p50_wait {:.0} p95_wait {:.0}",
+        smoke.hit_rate(),
+        smoke.p50_wait(),
+        smoke.p95_wait()
+    );
+    assert_eq!(smoke_responses.len(), 200);
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"workers\": {WORKERS},\n  \
+         \"acceptance\": \"warm_rps >= 5x cold_rps; smoke trace fully answered\",\n  \
+         \"cold_rps\": {cold_rps:.2},\n  \"warm_rps\": {warm_rps:.2},\n  \
+         \"warm_over_cold\": {speedup:.2},\n  \"smoke\": {{\n    \
+         \"requests\": {}, \"planned\": {}, \"misses\": {}, \"hits\": {}, \
+         \"coalesced\": {}, \"hit_rate\": {:.4},\n    \
+         \"p50_wait_ticks\": {:.3}, \"p95_wait_ticks\": {:.3}, \"cycles\": {}\n  }}\n}}\n",
+        smoke.requests,
+        smoke.planned,
+        smoke.misses,
+        smoke.hits,
+        smoke.coalesced,
+        smoke.hit_rate(),
+        smoke.p50_wait(),
+        smoke.p95_wait(),
+        smoke.cycles,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(out, json).expect("write BENCH_serve.json");
+}
+
+criterion_group!(benches, serve);
+criterion_main!(benches);

@@ -126,7 +126,7 @@ impl CloudSpec {
         self.types
             .iter()
             .enumerate()
-            .min_by(|a, b| a.1.price_per_hour.partial_cmp(&b.1.price_per_hour).unwrap())
+            .min_by(|a, b| a.1.price_per_hour.total_cmp(&b.1.price_per_hour))
             .map(|(i, _)| i)
             .expect("catalog must not be empty")
     }
@@ -136,7 +136,7 @@ impl CloudSpec {
         self.types
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.price_per_hour.partial_cmp(&b.1.price_per_hour).unwrap())
+            .max_by(|a, b| a.1.price_per_hour.total_cmp(&b.1.price_per_hour))
             .map(|(i, _)| i)
             .expect("catalog must not be empty")
     }

@@ -49,6 +49,12 @@ pub struct MetadataStore {
     /// WLog programs. Zero (the default) means the cloud is assumed
     /// reliable.
     fail_rates: Vec<Vec<f64>>,
+    /// Monotonic version of the store's facts. Every mutation (a
+    /// recalibration, a fail-rate observation, a price refresh) bumps it,
+    /// so consumers that key work off the store — the plan cache above
+    /// all — can detect staleness by comparing one integer instead of
+    /// whole histogram tables.
+    catalog_epoch: u64,
 }
 
 impl MetadataStore {
@@ -64,7 +70,22 @@ impl MetadataStore {
             hists,
             cross_region_net,
             fail_rates,
+            catalog_epoch: 0,
         }
+    }
+
+    /// The store's monotonic fact version. Two equal epochs on the same
+    /// store instance guarantee the calibrated facts have not changed in
+    /// between; a bump invalidates anything derived from the older epoch.
+    pub fn catalog_epoch(&self) -> u64 {
+        self.catalog_epoch
+    }
+
+    /// Record that the store's facts changed (recalibration, price table
+    /// refresh). Fail-rate setters call this automatically; callers that
+    /// mutate `spec` directly should bump explicitly.
+    pub fn bump_catalog_epoch(&mut self) {
+        self.catalog_epoch += 1;
     }
 
     /// Exact discretization of the ground-truth laws — the limit of an
@@ -138,6 +159,7 @@ impl MetadataStore {
             "implausible failure rate {rate}"
         );
         self.fail_rates[itype][region] = rate;
+        self.bump_catalog_epoch();
     }
 
     /// Builder-style variant of [`MetadataStore::set_fail_rate`] applying
@@ -149,6 +171,7 @@ impl MetadataStore {
             }
         }
         assert!(rate >= 0.0);
+        self.bump_catalog_epoch();
         self
     }
 }
@@ -193,6 +216,21 @@ mod tests {
     fn store_requires_full_coverage() {
         let spec = CloudSpec::amazon_ec2();
         MetadataStore::new(spec, Vec::new(), Histogram::constant(1.0));
+    }
+
+    #[test]
+    fn catalog_epoch_is_monotonic_and_bumped_by_mutation() {
+        let spec = CloudSpec::amazon_ec2();
+        let mut store = MetadataStore::from_ground_truth(spec, 20);
+        assert_eq!(store.catalog_epoch(), 0, "fresh store starts at epoch 0");
+        store.set_fail_rate(0, 0, 0.01);
+        assert_eq!(store.catalog_epoch(), 1);
+        store.set_fail_rate(0, 0, 0.01); // same value still marks a refresh
+        assert_eq!(store.catalog_epoch(), 2);
+        store.bump_catalog_epoch();
+        assert_eq!(store.catalog_epoch(), 3);
+        let uniform = store.with_uniform_fail_rate(0.0);
+        assert_eq!(uniform.catalog_epoch(), 4);
     }
 
     #[test]

@@ -141,7 +141,7 @@ impl Plan {
             // `ready` (keeps instances busy without delaying the task).
             let candidate = (0..slots.len())
                 .filter(|&s| slots[s].itype == ty && slot_free[s] <= ready + 1e-9)
-                .max_by(|&a, &b| slot_free[a].partial_cmp(&slot_free[b]).unwrap());
+                .max_by(|&a, &b| slot_free[a].total_cmp(&slot_free[b]));
             let s = match candidate {
                 Some(s) => s,
                 None => {

@@ -81,6 +81,7 @@ pub struct DecoPlan {
 }
 
 /// The declarative optimization engine.
+#[derive(Clone)]
 pub struct Deco {
     pub store: MetadataStore,
     pub options: DecoOptions,

@@ -33,6 +33,15 @@ pub enum DecoError {
     /// The pipeline ran but no plan satisfies the constraints (within the
     /// search budget, if one was set).
     Infeasible(String),
+    /// A serving front end refused the request because its admission
+    /// queue is full (backpressure, not a planning failure): retry later
+    /// or shed load upstream.
+    Overloaded {
+        /// Requests already waiting when this one arrived.
+        queued: usize,
+        /// The admission queue's capacity.
+        capacity: usize,
+    },
 }
 
 impl std::fmt::Display for DecoError {
@@ -45,6 +54,10 @@ impl std::fmt::Display for DecoError {
             DecoError::Dax(e) => write!(f, "workflow error: {e}"),
             DecoError::Plan(m) => write!(f, "plan error: {m}"),
             DecoError::Infeasible(m) => write!(f, "infeasible: {m}"),
+            DecoError::Overloaded { queued, capacity } => write!(
+                f,
+                "overloaded: admission queue full ({queued} waiting, capacity {capacity})"
+            ),
         }
     }
 }
@@ -108,5 +121,11 @@ mod tests {
         assert!(DecoError::Translate("x".into())
             .to_string()
             .starts_with("translation error:"));
+        let overloaded = DecoError::Overloaded {
+            queued: 64,
+            capacity: 64,
+        };
+        assert!(overloaded.to_string().starts_with("overloaded:"));
+        assert!(overloaded.to_string().contains("64 waiting"));
     }
 }

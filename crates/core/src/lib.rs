@@ -50,4 +50,7 @@ pub mod supervisor;
 pub use engine::{Deco, DecoOptions, DecoPlan};
 pub use error::DecoError;
 pub use scheduling::{ObjectiveMode, SchedulingProblem};
-pub use supervisor::{plan_with_fallback, PlanProvenance, PlanStage, StageSkip, SupervisedPlan};
+pub use supervisor::{
+    plan_with_fallback, plan_with_fallback_scratch, PlanProvenance, PlanStage, StageSkip,
+    SupervisedPlan,
+};

@@ -20,6 +20,7 @@
 
 use crate::engine::{Deco, DecoPlan};
 use crate::error::DecoError;
+use crate::estimate::EvalScratch;
 use crate::scheduling::SchedulingProblem;
 use deco_baselines::autoscaling::autoscaling_types;
 use deco_baselines::heuristic::offline_region_choice;
@@ -93,6 +94,30 @@ pub fn plan_with_fallback(
     deadline: f64,
     percentile: f64,
     budget: &SearchBudget,
+) -> Result<SupervisedPlan, DecoError> {
+    plan_with_fallback_scratch(
+        deco,
+        wf,
+        deadline,
+        percentile,
+        budget,
+        &mut EvalScratch::new(),
+    )
+}
+
+/// [`plan_with_fallback`] with caller-owned evaluation scratch. Long-lived
+/// planners (the `deco-serve` solver workers) hold one [`EvalScratch`] per
+/// worker thread and route every request through here, so the fallback
+/// stages' Monte-Carlo evaluations run allocation-free in steady state.
+/// Results never depend on the scratch's prior contents — the two entry
+/// points are bit-identical.
+pub fn plan_with_fallback_scratch(
+    deco: &Deco,
+    wf: &Workflow,
+    deadline: f64,
+    percentile: f64,
+    budget: &SearchBudget,
+    scratch: &mut EvalScratch,
 ) -> Result<SupervisedPlan, DecoError> {
     // Validate before SchedulingProblem::new / critical_path can assert.
     if wf.is_empty() {
@@ -188,7 +213,7 @@ pub fn plan_with_fallback(
             let types = vec![ty; wf.len()];
             let region = offline_region_choice(wf, spec, &types, 0);
             problem.region = region;
-            let evaluation = problem.evaluate(&types, state_seed(0xFA11, &types));
+            let evaluation = problem.evaluate_with(&types, state_seed(0xFA11, &types), scratch);
             let plan = problem.plan_of(&types);
             return Ok(SupervisedPlan {
                 plan: DecoPlan {
@@ -214,7 +239,7 @@ pub fn plan_with_fallback(
     // --- stage 3: autoscaling static plan (always succeeds) --------------
     let types = autoscaling_types(wf, spec, deadline);
     problem.region = 0;
-    let evaluation = problem.evaluate(&types, state_seed(0xFA11, &types));
+    let evaluation = problem.evaluate_with(&types, state_seed(0xFA11, &types), scratch);
     let plan = deco_cloud::Plan::packed_deadline(wf, &types, 0, spec, deadline);
     Ok(SupervisedPlan {
         plan: DecoPlan {
@@ -334,6 +359,32 @@ mod tests {
             let err = plan_with_fallback(&d, w, deadline, pct, &SearchBudget::unlimited())
                 .expect_err("invalid request");
             assert!(matches!(err, DecoError::Plan(_)), "{err}");
+        }
+    }
+
+    #[test]
+    fn worker_scratch_reuse_is_bit_identical_to_fresh_scratch() {
+        // A serve worker holds one EvalScratch across many requests; the
+        // verdicts must not depend on what the scratch saw before. The
+        // starved budget forces the fallback stages, which are the ones
+        // that evaluate through the caller's scratch.
+        let d = deco();
+        let mut scratch = EvalScratch::new();
+        for (wf, budget) in [
+            (generators::montage(1, 9), SearchBudget::ticks(1e-12)),
+            (generators::ligo(10, 9), SearchBudget::ticks(1e-12)),
+            (generators::montage(1, 8), SearchBudget::unlimited()),
+        ] {
+            let deadline = medium_deadline(&wf, &d.store.spec);
+            let fresh = plan_with_fallback(&d, &wf, deadline, 0.9, &budget).unwrap();
+            let reused =
+                plan_with_fallback_scratch(&d, &wf, deadline, 0.9, &budget, &mut scratch).unwrap();
+            assert_eq!(fresh.plan.types, reused.plan.types);
+            assert_eq!(fresh.provenance.stage, reused.provenance.stage);
+            assert_eq!(
+                fresh.plan.evaluation.objective.to_bits(),
+                reused.plan.evaluation.objective.to_bits()
+            );
         }
     }
 

@@ -5,7 +5,7 @@ use crate::mapper::ExecutableWorkflow;
 use crate::scheduler::{Requirements, Scheduler};
 use deco_cloud::sim::{run_plan, run_with_policy, RuntimePolicy};
 use deco_cloud::{CloudSpec, MetadataStore, RetryConfig};
-use deco_core::supervisor::{plan_with_fallback, PlanProvenance};
+use deco_core::supervisor::{plan_with_fallback, PlanProvenance, SupervisedPlan};
 use deco_core::{Deco, DecoError};
 use deco_faults::{run_with_faults, FaultInjector};
 use deco_prob::stats::Summary;
@@ -108,6 +108,30 @@ impl Pegasus {
             transfer_cost: r.cost.transfer,
             met_deadline: r.makespan <= req.deadline,
         }
+    }
+
+    /// Execute a plan handed back by the plan-serving engine (deco-serve):
+    /// map the supervised plan onto the workflow, run it once against the
+    /// dynamic cloud, and classify the run with the plan's provenance — a
+    /// deadline hit on a degraded (fallback or truncated) plan reports
+    /// [`RunOutcome::MetDegraded`], matching the fault-campaign accounting.
+    pub fn execute_served(
+        &self,
+        served: &SupervisedPlan,
+        wf: &Workflow,
+        req: Requirements,
+        seed: u64,
+    ) -> Result<(ExecutionReport, RunOutcome), DecoError> {
+        let exe = ExecutableWorkflow::map(wf, &served.plan.plan, &self.spec)?;
+        let report = self.execute(&exe, req, "served", seed);
+        let outcome = if !report.met_deadline {
+            RunOutcome::Violated
+        } else if served.provenance.degraded() {
+            RunOutcome::MetDegraded
+        } else {
+            RunOutcome::Met
+        };
+        Ok((report, outcome))
     }
 
     /// Execute with a runtime re-optimization policy consulted every
@@ -602,6 +626,50 @@ mod tests {
         assert_eq!(
             rep.met() + rep.met_degraded() + rep.violated() + rep.incomplete(),
             rep.reports.len()
+        );
+    }
+
+    #[test]
+    fn served_plans_execute_and_classify_by_provenance() {
+        let wms = wms();
+        let wf = generators::montage(1, 30);
+        let r = req(&wf, &wms.spec);
+        let mut deco = Deco::new(wms.store.clone());
+        deco.options.mc_iters = 40;
+        deco.options.search.max_states = 200;
+        let served = plan_with_fallback(
+            &deco,
+            &wf,
+            r.deadline,
+            r.percentile,
+            &SearchBudget::unlimited(),
+        )
+        .expect("feasible");
+        let (report, outcome) = wms.execute_served(&served, &wf, r, 33).expect("maps");
+        assert!(report.makespan > 0.0 && report.cost > 0.0);
+        if report.met_deadline {
+            assert_eq!(outcome, RunOutcome::Met, "full-quality plan hits plainly");
+        } else {
+            assert_eq!(outcome, RunOutcome::Violated);
+        }
+        // A budget-truncated plan can only ever report a degraded hit.
+        let degraded = plan_with_fallback(
+            &deco,
+            &wf,
+            r.deadline,
+            r.percentile,
+            &SearchBudget::ticks(1e-12),
+        )
+        .expect("supervisor always plans");
+        assert!(degraded.provenance.degraded());
+        let (report, outcome) = wms.execute_served(&degraded, &wf, r, 33).expect("maps");
+        assert_eq!(
+            outcome,
+            if report.met_deadline {
+                RunOutcome::MetDegraded
+            } else {
+                RunOutcome::Violated
+            }
         );
     }
 

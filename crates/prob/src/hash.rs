@@ -36,6 +36,21 @@ impl StableHasher {
         h.write_u64(seed);
         h
     }
+
+    /// Feed an `f64` canonically: `-0.0` collapses onto `+0.0` and every
+    /// NaN payload onto one canonical NaN, so semantically equal inputs
+    /// hash equally (content-addressed cache keys hash deadlines, prices
+    /// and byte counts through this).
+    pub fn write_f64(&mut self, v: f64) {
+        let bits = if v == 0.0 {
+            0u64
+        } else if v.is_nan() {
+            f64::NAN.to_bits()
+        } else {
+            v.to_bits()
+        };
+        self.write_u64(bits);
+    }
 }
 
 impl Default for StableHasher {
@@ -124,6 +139,19 @@ mod tests {
         );
         assert_ne!(stable_hash_of(&(1u8, 2u8)), stable_hash_of(&(2u8, 1u8)));
         assert_eq!(stable_hash_of(&vec![7i64]), stable_hash_of(&vec![7i64]));
+    }
+
+    #[test]
+    fn f64_writes_are_canonical() {
+        let h = |v: f64| {
+            let mut h = StableHasher::new();
+            h.write_f64(v);
+            h.finish()
+        };
+        assert_eq!(h(0.0), h(-0.0));
+        assert_eq!(h(f64::NAN), h(-f64::NAN));
+        assert_ne!(h(1.0), h(2.0));
+        assert_eq!(h(3.5), h(3.5));
     }
 
     #[test]

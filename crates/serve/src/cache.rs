@@ -1,0 +1,299 @@
+//! The content-addressed plan cache.
+//!
+//! A plan is a pure function of (workflow DAG shape, catalog facts, engine
+//! options, canonical deadline, percentile, budget). The cache keys on a
+//! [`StableHasher`] digest of exactly those inputs:
+//!
+//! * the **workflow shape** — task profiles and data edges in canonical
+//!   order; task and workflow *names* are deliberately excluded, so two
+//!   tenants submitting structurally identical DAX documents share one
+//!   cache line;
+//! * the **catalog epoch** ([`MetadataStore::catalog_epoch`]) plus a
+//!   price-table fingerprint — a recalibration or price refresh bumps the
+//!   epoch, which changes every key derived afterwards and strands the
+//!   stale entries (reaped by [`PlanCache::purge_stale`] and LRU);
+//! * the **engine options** that shape the search (MC iterations, beam
+//!   width, seeds, retry policy);
+//! * the **canonical deadline** (bucket-floored by the server), the
+//!   percentile, and the request-level budget.
+//!
+//! A warm hit therefore returns a plan bit-identical to what a cold solve
+//! of the same canonical request would produce — the property the
+//! proptests pin.
+
+use deco_cloud::MetadataStore;
+use deco_core::supervisor::SupervisedPlan;
+use deco_core::DecoOptions;
+use deco_prob::hash::StableHasher;
+use deco_workflow::Workflow;
+use std::collections::HashMap;
+use std::hash::Hasher;
+
+/// Domain-separation seed: bump when the key derivation changes shape.
+const KEY_DOMAIN: u64 = 0x5E72_ECAC_4E00_0001;
+
+/// Canonical structural hash of a workflow: profiles and edges, no names.
+pub fn workflow_shape_hash(wf: &Workflow) -> u64 {
+    let mut h = StableHasher::with_seed(KEY_DOMAIN ^ 0x0DA6);
+    h.write_usize(wf.len());
+    for t in wf.tasks() {
+        h.write_f64(t.profile.cpu_seconds);
+        h.write_f64(t.profile.read_bytes);
+        h.write_f64(t.profile.write_bytes);
+    }
+    // Canonical edge order: (from, to) — insertion order is not content.
+    let mut edges: Vec<(u32, u32, f64)> = wf.edges().map(|e| (e.from.0, e.to.0, e.bytes)).collect();
+    edges.sort_by_key(|e| (e.0, e.1));
+    h.write_usize(edges.len());
+    for (from, to, bytes) in edges {
+        h.write_u32(from);
+        h.write_u32(to);
+        h.write_f64(bytes);
+    }
+    h.finish()
+}
+
+/// Fingerprint of the catalog the planner consults: the epoch (the
+/// monotonic staleness signal) plus the price table and billing geometry,
+/// so even an un-bumped store swap cannot alias keys.
+pub fn catalog_fingerprint(store: &MetadataStore) -> u64 {
+    let mut h = StableHasher::with_seed(KEY_DOMAIN ^ 0xCA7A);
+    h.write_u64(store.catalog_epoch());
+    let spec = &store.spec;
+    h.write_usize(spec.types.len());
+    for t in &spec.types {
+        h.write_f64(t.price_per_hour);
+        h.write_f64(t.ecu);
+    }
+    h.write_usize(spec.regions.len());
+    for r in &spec.regions {
+        h.write_f64(r.price_multiplier);
+    }
+    h.write_f64(spec.billing_quantum);
+    h.write_f64(spec.inter_region_price_per_gb);
+    h.finish()
+}
+
+/// Fingerprint of every engine option that can change a solve's verdict.
+pub fn options_fingerprint(options: &DecoOptions) -> u64 {
+    let mut h = StableHasher::with_seed(KEY_DOMAIN ^ 0x0975);
+    h.write_usize(options.mc_iters);
+    h.write_usize(options.beam_width);
+    h.write_usize(options.wlog_bins);
+    h.write_usize(options.search.max_states);
+    h.write_usize(options.search.patience);
+    h.write_usize(options.search.batch);
+    h.write_u64(options.search.seed);
+    match &options.retry {
+        None => h.write_u8(0),
+        Some(r) => {
+            h.write_u8(1);
+            h.write_u32(r.max_attempts);
+            h.write_f64(r.backoff_base);
+            h.write_f64(r.backoff_cap);
+        }
+    }
+    h.finish()
+}
+
+/// The full content-addressed key of one canonical plan request.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_key(
+    wf: &Workflow,
+    store: &MetadataStore,
+    options: &DecoOptions,
+    canonical_deadline: f64,
+    percentile: f64,
+    budget_ticks: Option<f64>,
+) -> u64 {
+    let mut h = StableHasher::with_seed(KEY_DOMAIN);
+    h.write_u64(workflow_shape_hash(wf));
+    h.write_u64(catalog_fingerprint(store));
+    h.write_u64(options_fingerprint(options));
+    h.write_f64(canonical_deadline);
+    h.write_f64(percentile);
+    match budget_ticks {
+        None => h.write_u8(0),
+        Some(t) => {
+            h.write_u8(1);
+            h.write_f64(t);
+        }
+    }
+    h.finish()
+}
+
+struct Entry {
+    plan: SupervisedPlan,
+    /// Catalog epoch the plan was solved under (for `purge_stale`).
+    epoch: u64,
+    /// Logical last-use stamp for LRU eviction.
+    last_use: u64,
+}
+
+/// A bounded LRU map from content key to supervised plan. Eviction is
+/// deterministic: the least-recently-used entry goes first, ties broken by
+/// smaller key.
+pub struct PlanCache {
+    map: HashMap<u64, Entry>,
+    capacity: usize,
+    clock: u64,
+}
+
+impl PlanCache {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "a zero-capacity cache cannot serve");
+        PlanCache {
+            map: HashMap::new(),
+            capacity,
+            clock: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Look up a key, refreshing its LRU stamp on a hit.
+    pub fn get(&mut self, key: u64) -> Option<&SupervisedPlan> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(&key).map(|e| {
+            e.last_use = clock;
+            &e.plan
+        })
+    }
+
+    /// Insert a solved plan; returns how many entries were evicted to
+    /// make room (0 or 1).
+    pub fn insert(&mut self, key: u64, plan: SupervisedPlan, epoch: u64) -> usize {
+        self.clock += 1;
+        let mut evicted = 0;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(victim) = self
+                .map
+                .iter()
+                .map(|(&k, e)| (e.last_use, k))
+                .min()
+                .map(|(_, k)| k)
+            {
+                self.map.remove(&victim);
+                evicted = 1;
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                plan,
+                epoch,
+                last_use: self.clock,
+            },
+        );
+        evicted
+    }
+
+    /// Drop every entry solved under an older catalog epoch; returns the
+    /// number purged. (Stale entries are already unreachable — the epoch
+    /// is part of every key — so this is reclamation, not correctness.)
+    pub fn purge_stale(&mut self, current_epoch: u64) -> usize {
+        let before = self.map.len();
+        self.map.retain(|_, e| e.epoch == current_epoch);
+        before - self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deco_cloud::{CloudSpec, MetadataStore};
+    use deco_core::supervisor::plan_with_fallback;
+    use deco_core::Deco;
+    use deco_solver::SearchBudget;
+    use deco_workflow::generators;
+
+    fn store() -> MetadataStore {
+        MetadataStore::from_ground_truth(CloudSpec::amazon_ec2(), 20)
+    }
+
+    #[test]
+    fn shape_hash_ignores_names_but_not_structure() {
+        let a = generators::montage(1, 5);
+        let mut b = a.clone();
+        b.name = "renamed".into();
+        assert_eq!(workflow_shape_hash(&a), workflow_shape_hash(&b));
+        let c = generators::montage(1, 6);
+        assert_ne!(workflow_shape_hash(&a), workflow_shape_hash(&c));
+        assert_ne!(
+            workflow_shape_hash(&generators::pipeline(3, 10.0, 0)),
+            workflow_shape_hash(&generators::pipeline(4, 10.0, 0))
+        );
+    }
+
+    #[test]
+    fn keys_track_epoch_deadline_budget_and_options() {
+        let wf = generators::montage(1, 5);
+        let mut st = store();
+        let opts = DecoOptions::default();
+        let base = plan_key(&wf, &st, &opts, 1000.0, 0.9, None);
+        assert_eq!(base, plan_key(&wf, &st, &opts, 1000.0, 0.9, None));
+        st.bump_catalog_epoch();
+        assert_ne!(base, plan_key(&wf, &st, &opts, 1000.0, 0.9, None));
+        let st = store();
+        assert_ne!(base, plan_key(&wf, &st, &opts, 2000.0, 0.9, None));
+        assert_ne!(base, plan_key(&wf, &st, &opts, 1000.0, 0.95, None));
+        assert_ne!(base, plan_key(&wf, &st, &opts, 1000.0, 0.9, Some(50.0)));
+        let mut tweaked = DecoOptions::default();
+        tweaked.mc_iters += 1;
+        assert_ne!(base, plan_key(&wf, &st, &tweaked, 1000.0, 0.9, None));
+    }
+
+    fn dummy_plan(seed: u64) -> SupervisedPlan {
+        let st = store();
+        let mut d = Deco::new(st);
+        d.options.mc_iters = 10;
+        d.options.search.max_states = 40;
+        let wf = generators::pipeline(2, 50.0, 0);
+        let (dmin, dmax) = deco_core::estimate::deadline_anchors(&wf, &d.store.spec);
+        plan_with_fallback(
+            &d,
+            &wf,
+            0.5 * (dmin + dmax),
+            0.9,
+            &SearchBudget::unlimited(),
+        )
+        .map(|mut p| {
+            p.provenance.budget_spent += seed as f64; // distinguishable marker
+            p
+        })
+        .expect("feasible")
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_deterministically() {
+        let mut cache = PlanCache::new(2);
+        assert_eq!(cache.insert(1, dummy_plan(1), 0), 0);
+        assert_eq!(cache.insert(2, dummy_plan(2), 0), 0);
+        assert!(cache.get(1).is_some()); // refresh 1; victim becomes 2
+        assert_eq!(cache.insert(3, dummy_plan(3), 0), 1);
+        assert!(cache.get(2).is_none(), "2 was least recently used");
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn purge_drops_only_stale_epochs() {
+        let mut cache = PlanCache::new(8);
+        cache.insert(1, dummy_plan(1), 0);
+        cache.insert(2, dummy_plan(2), 1);
+        cache.insert(3, dummy_plan(3), 1);
+        assert_eq!(cache.purge_stale(1), 1);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(1).is_none());
+        assert_eq!(cache.purge_stale(2), 2);
+        assert!(cache.is_empty());
+    }
+}

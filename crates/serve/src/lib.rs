@@ -1,0 +1,44 @@
+// User-facing paths return typed errors; panicking shortcuts are banned
+// from library code (tests may still unwrap).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+//! deco-serve — a deterministic multi-tenant plan-serving engine.
+//!
+//! The paper's engine answers one question at a time: *given this
+//! workflow, deadline, and cloud, what is the cheapest provisioning
+//! plan?* A shared deployment answers that question for many tenants
+//! concurrently, and most questions repeat — the same Montage DAG, the
+//! same deadline bucket, the same price table. This crate puts a serving
+//! layer in front of [`deco_core::supervisor::plan_with_fallback`]:
+//!
+//! * [`queue`] — bounded admission with [`deco_core::DecoError::Overloaded`]
+//!   backpressure and per-tenant fair-share search budgets;
+//! * [`cache`] — a content-addressed plan cache keyed by the canonical
+//!   structural hash of (DAG shape, catalog epoch + price table, engine
+//!   options, bucketed deadline, percentile, budget); warm hits are
+//!   bit-identical to cold solves;
+//! * [`server`] — the cycle loop and the scoped solver-worker pool (one
+//!   reusable evaluation scratch per worker, vendored crossbeam
+//!   channels);
+//! * [`request`] / [`stats`] — recorded arrival traces, canonical
+//!   response rendering, and deterministic serving statistics.
+//!
+//! The load-bearing property is **deterministic replay**: a fixed trace
+//! produces a byte-identical response stream and identical stats whether
+//! the pool runs 1, 2, or 8 workers, because every observable ordering is
+//! by content key or trace sequence, never by thread completion time.
+
+pub mod cache;
+pub mod queue;
+pub mod request;
+pub mod server;
+pub mod stats;
+
+pub use cache::{plan_key, workflow_shape_hash, PlanCache};
+pub use queue::AdmissionQueue;
+pub use request::{
+    Arrival, ArrivalTrace, PlanRequest, PlanResponse, PlanSource, ServeOutcome, ServedPlan,
+    TenantId,
+};
+pub use server::{canonical_deadline, PlanServer, ServeConfig};
+pub use stats::ServeStats;

@@ -1,0 +1,170 @@
+//! Admission control and fair-share budget allocation.
+//!
+//! The queue is bounded: once `capacity` requests are waiting, further
+//! arrivals are refused with [`DecoError::Overloaded`] — backpressure is a
+//! response, not a blocked caller. Within a solve cycle, the optional
+//! tick pool is split *per tenant first*, then per job within each
+//! tenant, so one tenant flooding the batch cannot starve another's
+//! search depth.
+
+use crate::request::{PlanRequest, TenantId};
+use deco_core::DecoError;
+use deco_solver::SearchBudget;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// One queued request: its trace sequence number, arrival tick, and body.
+#[derive(Debug, Clone)]
+pub struct QueuedRequest {
+    pub seq: u64,
+    pub arrived_at: f64,
+    pub request: PlanRequest,
+}
+
+/// A bounded FIFO admission queue.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    pending: VecDeque<QueuedRequest>,
+    capacity: usize,
+}
+
+impl AdmissionQueue {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "a zero-capacity queue admits nothing");
+        AdmissionQueue {
+            pending: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Admit a request, or refuse it with [`DecoError::Overloaded`] when
+    /// the queue is full.
+    pub fn try_admit(
+        &mut self,
+        seq: u64,
+        arrived_at: f64,
+        request: PlanRequest,
+    ) -> Result<(), DecoError> {
+        if self.pending.len() >= self.capacity {
+            return Err(DecoError::Overloaded {
+                queued: self.pending.len(),
+                capacity: self.capacity,
+            });
+        }
+        self.pending.push_back(QueuedRequest {
+            seq,
+            arrived_at,
+            request,
+        });
+        Ok(())
+    }
+
+    /// Pop up to `n` requests in admission order.
+    pub fn drain_batch(&mut self, n: usize) -> Vec<QueuedRequest> {
+        let take = n.min(self.pending.len());
+        self.pending.drain(..take).collect()
+    }
+}
+
+/// Split a cycle's tick pool fairly across the tenants owning this
+/// cycle's cold solves, then across each tenant's jobs. Returns one
+/// budget per entry of `tenants`, in order. With no pool, every job gets
+/// an unlimited cycle share (the per-request cap still applies).
+pub fn fair_share_budgets(pool: Option<f64>, tenants: &[TenantId]) -> Vec<SearchBudget> {
+    let Some(pool) = pool else {
+        return vec![SearchBudget::unlimited(); tenants.len()];
+    };
+    let mut per_tenant: BTreeMap<TenantId, usize> = BTreeMap::new();
+    for &t in tenants {
+        *per_tenant.entry(t).or_insert(0) += 1;
+    }
+    let tenant_share = SearchBudget::ticks(pool).fair_share(per_tenant.len().max(1));
+    tenants
+        .iter()
+        .map(|t| tenant_share.fair_share(per_tenant[t]))
+        .collect()
+}
+
+/// Clamp a cycle share by the request's own budget hint: the effective
+/// budget is the tighter of the two on every axis.
+pub fn effective_budget(share: &SearchBudget, hint: Option<f64>) -> SearchBudget {
+    let ticks = match (share.ticks, hint) {
+        (Some(s), Some(h)) => Some(s.min(h)),
+        (Some(s), None) => Some(s),
+        (None, Some(h)) => Some(h),
+        (None, None) => None,
+    };
+    SearchBudget {
+        ticks,
+        wall_seconds: share.wall_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deco_workflow::generators;
+
+    fn req(t: TenantId) -> PlanRequest {
+        PlanRequest {
+            tenant: t,
+            workflow: generators::pipeline(2, 10.0, 0),
+            deadline: 100.0,
+            percentile: 0.9,
+            budget_hint: None,
+        }
+    }
+
+    #[test]
+    fn queue_rejects_above_capacity_and_drains_fifo() {
+        let mut q = AdmissionQueue::new(2);
+        q.try_admit(0, 0.0, req(1)).expect("admit");
+        q.try_admit(1, 1.0, req(2)).expect("admit");
+        let err = q.try_admit(2, 2.0, req(3)).expect_err("full");
+        assert!(matches!(
+            err,
+            DecoError::Overloaded {
+                queued: 2,
+                capacity: 2
+            }
+        ));
+        let batch = q.drain_batch(10);
+        assert_eq!(batch.iter().map(|b| b.seq).collect::<Vec<_>>(), vec![0, 1]);
+        assert!(q.is_empty());
+        // Draining frees capacity again.
+        q.try_admit(3, 3.0, req(3)).expect("admit after drain");
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn fair_share_splits_per_tenant_then_per_job() {
+        // Tenant 1 owns two jobs, tenant 2 one: pool 120 → 60 per tenant,
+        // then 30/30 for tenant 1's jobs and 60 for tenant 2's.
+        let budgets = fair_share_budgets(Some(120.0), &[1, 2, 1]);
+        let ticks: Vec<f64> = budgets.iter().map(|b| b.ticks.expect("limited")).collect();
+        assert_eq!(ticks, vec![30.0, 60.0, 30.0]);
+        // No pool → unlimited shares.
+        assert!(fair_share_budgets(None, &[1, 2])
+            .iter()
+            .all(|b| b.is_unlimited()));
+    }
+
+    #[test]
+    fn hints_tighten_but_never_loosen_budgets() {
+        let share = SearchBudget::ticks(50.0);
+        assert_eq!(effective_budget(&share, Some(20.0)).ticks, Some(20.0));
+        assert_eq!(effective_budget(&share, Some(80.0)).ticks, Some(50.0));
+        assert_eq!(effective_budget(&share, None).ticks, Some(50.0));
+        let open = SearchBudget::unlimited();
+        assert_eq!(effective_budget(&open, Some(9.0)).ticks, Some(9.0));
+        assert!(effective_budget(&open, None).is_unlimited());
+    }
+}

@@ -1,0 +1,649 @@
+//! The plan server: admission → cache → worker pool → supervisor.
+//!
+//! [`PlanServer::serve_trace`] replays a recorded [`ArrivalTrace`] through
+//! a deterministic cycle loop:
+//!
+//! 1. **Admit** every arrival whose tick has passed, up to the queue
+//!    capacity; excess arrivals are answered `Rejected` with the
+//!    [`DecoError::Overloaded`] rendering (backpressure, not blocking).
+//! 2. **Drain** one batch and classify each request against the
+//!    content-addressed cache: warm hits answer immediately; equal keys
+//!    within the batch coalesce onto one solve; the remaining unique
+//!    misses become solve jobs with fair-share budgets.
+//! 3. **Solve** the miss jobs on a pool of worker threads (vendored
+//!    crossbeam channels, one reusable [`EvalScratch`] per worker), every
+//!    job routed through [`plan_with_fallback_scratch`] — the same
+//!    degradation chain a direct caller gets.
+//! 4. **Integrate** results in canonical key order (a `BTreeMap`, so the
+//!    cache and stats are updated identically no matter which worker
+//!    finished first), respond in sequence order, and advance the model
+//!    clock by the cycle's deterministic service ticks.
+//!
+//! Because every step orders by content key or trace sequence — never by
+//! thread completion — the response stream and stats are byte-identical
+//! at 1, 2, or 8 workers. The integration tests pin this.
+
+use crate::cache::{plan_key, PlanCache};
+use crate::queue::{effective_budget, fair_share_budgets, AdmissionQueue, QueuedRequest};
+use crate::request::{Arrival, ArrivalTrace, PlanResponse, PlanSource, ServeOutcome, ServedPlan};
+use crate::stats::ServeStats;
+use deco_core::estimate::EvalScratch;
+use deco_core::supervisor::{plan_with_fallback_scratch, PlanStage, SupervisedPlan};
+use deco_core::{Deco, DecoError};
+use deco_solver::SearchBudget;
+use deco_workflow::Workflow;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Serving policy knobs. Defaults suit the integration tests and bench;
+/// production traces should size `queue_capacity` to tolerated burst.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Admission queue bound; arrivals beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Requests drained per solve cycle.
+    pub batch_size: usize,
+    /// Plan cache bound (entries).
+    pub cache_capacity: usize,
+    /// Deadline canonicalization bucket, seconds. Deadlines are floored
+    /// to a bucket multiple (never below one bucket), so near-identical
+    /// requests share cache lines while the served deadline stays
+    /// conservative (no later than requested).
+    pub deadline_bucket: f64,
+    /// Per-request search budget cap (before fair-share and hints).
+    pub budget: SearchBudget,
+    /// Optional per-cycle tick pool split fairly across the cycle's
+    /// tenants. Cache-key-transparent: a pooled solve may be shallower
+    /// than an unpooled one, but the key records only the request-level
+    /// budget.
+    pub cycle_tick_pool: Option<f64>,
+    /// Modeled ticks to answer a warm or coalesced request.
+    pub hit_ticks: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 64,
+            batch_size: 16,
+            cache_capacity: 256,
+            deadline_bucket: 60.0,
+            budget: SearchBudget::unlimited(),
+            cycle_tick_pool: None,
+            hit_ticks: 0.0,
+        }
+    }
+}
+
+/// Floor a deadline to its canonical bucket: multiples of
+/// `bucket`, never below one bucket, and never above the request.
+pub fn canonical_deadline(deadline: f64, bucket: f64) -> f64 {
+    assert!(
+        bucket > 0.0 && bucket.is_finite(),
+        "bucket must be positive"
+    );
+    if deadline <= bucket {
+        deadline
+    } else {
+        (deadline / bucket).floor() * bucket
+    }
+}
+
+/// One cold solve dispatched to the worker pool.
+#[derive(Debug)]
+struct SolveJob {
+    key: u64,
+    workflow: Workflow,
+    deadline: f64,
+    percentile: f64,
+    budget: SearchBudget,
+}
+
+/// How a batched request will be answered once solves complete.
+enum Classified {
+    Warm(Box<SupervisedPlan>),
+    Miss { first: bool },
+}
+
+/// The serving engine: a [`Deco`] instance, its plan cache, and policy.
+pub struct PlanServer {
+    pub deco: Deco,
+    config: ServeConfig,
+    cache: PlanCache,
+}
+
+/// Tighter-of-both on every budget axis.
+fn min_budget(a: &SearchBudget, b: &SearchBudget) -> SearchBudget {
+    fn min_axis(x: Option<f64>, y: Option<f64>) -> Option<f64> {
+        match (x, y) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (x, y) => x.or(y),
+        }
+    }
+    SearchBudget {
+        ticks: min_axis(a.ticks, b.ticks),
+        wall_seconds: min_axis(a.wall_seconds, b.wall_seconds),
+    }
+}
+
+impl PlanServer {
+    pub fn new(deco: Deco, config: ServeConfig) -> Self {
+        assert!(config.batch_size >= 1, "batch_size must be at least 1");
+        let cache = PlanCache::new(config.cache_capacity);
+        PlanServer {
+            deco,
+            config,
+            cache,
+        }
+    }
+
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The content key [`serve_trace`](Self::serve_trace) would derive for
+    /// a request — exposed so tests and benches can predict hits.
+    pub fn key_for(&self, req: &crate::request::PlanRequest) -> u64 {
+        let cd = canonical_deadline(req.deadline, self.config.deadline_bucket);
+        plan_key(
+            &req.workflow,
+            &self.deco.store,
+            &self.deco.options,
+            cd,
+            req.percentile,
+            req.budget_hint.or(self.config.budget.ticks),
+        )
+    }
+
+    /// Structural validation before any key derivation or solving.
+    fn validate(req: &crate::request::PlanRequest) -> Result<(), DecoError> {
+        if req.workflow.is_empty() {
+            return Err(DecoError::Plan("workflow has no tasks".into()));
+        }
+        if !req.deadline.is_finite() || req.deadline <= 0.0 {
+            return Err(DecoError::Plan(format!(
+                "deadline must be finite and positive, got {}",
+                req.deadline
+            )));
+        }
+        if !(req.percentile > 0.0 && req.percentile <= 1.0) {
+            return Err(DecoError::Plan(format!(
+                "percentile must lie in (0, 1], got {}",
+                req.percentile
+            )));
+        }
+        if let Some(h) = req.budget_hint {
+            if !h.is_finite() || h <= 0.0 {
+                return Err(DecoError::Plan(format!(
+                    "budget hint must be finite and positive, got {h}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Replay a recorded trace with `workers` solver threads, returning
+    /// the response stream in trace order plus the run's stats. The
+    /// response stream and stats are byte-identical for any `workers`.
+    pub fn serve_trace(
+        &mut self,
+        trace: &ArrivalTrace,
+        workers: usize,
+    ) -> (Vec<PlanResponse>, ServeStats) {
+        assert!(workers >= 1, "the pool needs at least one worker");
+        let mut stats = ServeStats::default();
+        let epoch = self.deco.store.catalog_epoch();
+        stats.stale_purged += self.cache.purge_stale(epoch) as u64;
+
+        let mut responses: Vec<PlanResponse> = Vec::with_capacity(trace.len());
+        let mut queue = AdmissionQueue::new(self.config.queue_capacity);
+        let arrivals = trace.arrivals();
+        let mut next = 0usize;
+        let mut now = 0.0f64;
+
+        while next < arrivals.len() || !queue.is_empty() {
+            // An idle server sleeps until the next recorded arrival.
+            if queue.is_empty() && arrivals[next].at_tick > now {
+                now = arrivals[next].at_tick;
+            }
+            // Admit everything that has arrived by now; answer overflow
+            // immediately with backpressure.
+            while next < arrivals.len() && arrivals[next].at_tick <= now {
+                let Arrival { at_tick, request } = arrivals[next].clone();
+                let seq = next as u64;
+                let tenant = request.tenant;
+                if let Err(e) = queue.try_admit(seq, at_tick, request) {
+                    stats.rejected_overload += 1;
+                    responses.push(PlanResponse {
+                        seq,
+                        tenant,
+                        key: 0,
+                        outcome: ServeOutcome::Rejected {
+                            reason: e.to_string(),
+                        },
+                    });
+                }
+                next += 1;
+            }
+
+            let batch = queue.drain_batch(self.config.batch_size);
+            if batch.is_empty() {
+                continue;
+            }
+            stats.cycles += 1;
+            let cycle_start = now;
+            now += self.run_cycle(
+                batch,
+                cycle_start,
+                epoch,
+                workers,
+                &mut stats,
+                &mut responses,
+            );
+        }
+
+        responses.sort_by_key(|r| r.seq);
+        (responses, stats)
+    }
+
+    /// Classify, solve, and answer one batch; returns the cycle's
+    /// deterministic service ticks.
+    fn run_cycle(
+        &mut self,
+        batch: Vec<QueuedRequest>,
+        cycle_start: f64,
+        epoch: u64,
+        workers: usize,
+        stats: &mut ServeStats,
+        responses: &mut Vec<PlanResponse>,
+    ) -> f64 {
+        // Classification pass, in sequence order (which also fixes the
+        // cache's LRU refresh order).
+        let mut classified: Vec<(QueuedRequest, u64, f64, Result<Classified, DecoError>)> =
+            Vec::with_capacity(batch.len());
+        let mut jobs: Vec<SolveJob> = Vec::new();
+        let mut job_tenants = Vec::new();
+        let mut seen_keys: BTreeSet<u64> = BTreeSet::new();
+        for qr in batch {
+            stats.requests += 1;
+            if let Err(e) = Self::validate(&qr.request) {
+                stats.rejected_invalid += 1;
+                classified.push((qr, 0, 0.0, Err(e)));
+                continue;
+            }
+            let cd = canonical_deadline(qr.request.deadline, self.config.deadline_bucket);
+            let key = plan_key(
+                &qr.request.workflow,
+                &self.deco.store,
+                &self.deco.options,
+                cd,
+                qr.request.percentile,
+                qr.request.budget_hint.or(self.config.budget.ticks),
+            );
+            let class = if let Some(plan) = self.cache.get(key) {
+                Classified::Warm(Box::new(plan.clone()))
+            } else if !seen_keys.insert(key) {
+                Classified::Miss { first: false }
+            } else {
+                jobs.push(SolveJob {
+                    key,
+                    workflow: qr.request.workflow.clone(),
+                    deadline: cd,
+                    percentile: qr.request.percentile,
+                    budget: SearchBudget::unlimited(), // budgeted below
+                });
+                job_tenants.push(qr.request.tenant);
+                Classified::Miss { first: true }
+            };
+            classified.push((qr, key, cd, Ok(class)));
+        }
+
+        // Fair-share the cycle pool across the miss jobs' tenants, then
+        // clamp by the per-request cap and each request's hint.
+        let shares = fair_share_budgets(self.config.cycle_tick_pool, &job_tenants);
+        let hints: BTreeMap<u64, Option<f64>> = classified
+            .iter()
+            .filter(|(_, _, _, c)| matches!(c, Ok(Classified::Miss { first: true })))
+            .map(|(qr, key, _, _)| (*key, qr.request.budget_hint))
+            .collect();
+        for (job, share) in jobs.iter_mut().zip(shares) {
+            let capped = min_budget(&self.config.budget, &share);
+            job.budget = effective_budget(&capped, hints.get(&job.key).copied().flatten());
+        }
+
+        let solved = self.solve_jobs(jobs, workers);
+
+        // Integrate in canonical key order: cache updates (and therefore
+        // eviction order and LRU clocks) are independent of which worker
+        // finished first.
+        let mut service = 0.0f64;
+        for (key, (budget, result)) in &solved {
+            match result {
+                Ok(plan) => {
+                    service += plan.provenance.budget_spent;
+                    stats.evictions += self.cache.insert(*key, plan.clone(), epoch) as u64;
+                }
+                Err(_) => {
+                    stats.solve_failures += 1;
+                    service += budget.ticks.unwrap_or(0.0);
+                }
+            }
+        }
+
+        // Answer in sequence order.
+        for (qr, key, cd, class) in classified {
+            match class {
+                Err(e) => responses.push(PlanResponse {
+                    seq: qr.seq,
+                    tenant: qr.request.tenant,
+                    key,
+                    outcome: ServeOutcome::Rejected {
+                        reason: e.to_string(),
+                    },
+                }),
+                Ok(class) => {
+                    let (source, outcome) = match class {
+                        Classified::Warm(plan) => {
+                            service += self.config.hit_ticks;
+                            (Some(PlanSource::Warm), Ok(plan))
+                        }
+                        Classified::Miss { first } => {
+                            let source = if first {
+                                PlanSource::Cold
+                            } else {
+                                service += self.config.hit_ticks;
+                                PlanSource::Coalesced
+                            };
+                            match &solved
+                                .get(&key)
+                                .expect("every miss key has a solve result")
+                                .1
+                            {
+                                Ok(plan) => (Some(source), Ok(Box::new(plan.clone()))),
+                                Err(e) => (None, Err(e.to_string())),
+                            }
+                        }
+                    };
+                    match (source, outcome) {
+                        (Some(source), Ok(plan)) => {
+                            match source {
+                                PlanSource::Warm => stats.hits += 1,
+                                PlanSource::Cold => stats.misses += 1,
+                                PlanSource::Coalesced => stats.coalesced += 1,
+                            }
+                            match plan.provenance.stage {
+                                PlanStage::Deco => stats.stage_deco += 1,
+                                PlanStage::Heuristic => stats.stage_heuristic += 1,
+                                PlanStage::Autoscaling => stats.stage_autoscaling += 1,
+                            }
+                            stats.planned += 1;
+                            let wait = cycle_start - qr.arrived_at;
+                            stats.waits.push(wait);
+                            responses.push(PlanResponse {
+                                seq: qr.seq,
+                                tenant: qr.request.tenant,
+                                key,
+                                outcome: ServeOutcome::Planned(Box::new(ServedPlan {
+                                    plan: *plan,
+                                    source,
+                                    wait_ticks: wait,
+                                    canonical_deadline: cd,
+                                })),
+                            });
+                        }
+                        (_, Err(reason)) => responses.push(PlanResponse {
+                            seq: qr.seq,
+                            tenant: qr.request.tenant,
+                            key,
+                            outcome: ServeOutcome::Rejected { reason },
+                        }),
+                        (None, Ok(_)) => unreachable!("failed solves carry Err"),
+                    }
+                }
+            }
+        }
+        service
+    }
+
+    /// Solve the cycle's unique misses on a scoped worker pool. Results
+    /// land in a `BTreeMap`, so downstream iteration is in key order no
+    /// matter the thread interleaving.
+    #[allow(clippy::type_complexity)]
+    fn solve_jobs(
+        &self,
+        jobs: Vec<SolveJob>,
+        workers: usize,
+    ) -> BTreeMap<u64, (SearchBudget, Result<SupervisedPlan, DecoError>)> {
+        if jobs.is_empty() {
+            return BTreeMap::new();
+        }
+        let pool = workers.min(jobs.len());
+        let deco = &self.deco;
+        let (job_tx, job_rx) = crossbeam::channel::unbounded::<SolveJob>();
+        let (res_tx, res_rx) = crossbeam::channel::unbounded::<(
+            u64,
+            (SearchBudget, Result<SupervisedPlan, DecoError>),
+        )>();
+        std::thread::scope(|scope| {
+            for _ in 0..pool {
+                let job_rx = job_rx.clone();
+                let res_tx = res_tx.clone();
+                scope.spawn(move || {
+                    // One reusable scratch per worker; reuse is
+                    // bit-identical to fresh scratch (pinned in
+                    // deco-core's supervisor tests).
+                    let mut scratch = EvalScratch::new();
+                    for job in job_rx.iter() {
+                        let result = plan_with_fallback_scratch(
+                            deco,
+                            &job.workflow,
+                            job.deadline,
+                            job.percentile,
+                            &job.budget,
+                            &mut scratch,
+                        );
+                        if res_tx.send((job.key, (job.budget, result))).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(job_rx);
+            drop(res_tx);
+            for job in jobs {
+                job_tx
+                    .send(job)
+                    .expect("workers outlive the job queue within the scope");
+            }
+            drop(job_tx);
+            res_rx.iter().collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::PlanRequest;
+    use deco_cloud::{CloudSpec, MetadataStore};
+    use deco_core::estimate::deadline_anchors;
+    use deco_workflow::generators;
+
+    fn small_deco() -> Deco {
+        let store = MetadataStore::from_ground_truth(CloudSpec::amazon_ec2(), 20);
+        let mut deco = Deco::new(store);
+        deco.options.mc_iters = 20;
+        deco.options.search.max_states = 60;
+        deco.options.beam_width = 4;
+        deco
+    }
+
+    fn request(tenant: u32, wf_seed: u64) -> PlanRequest {
+        let deco = small_deco();
+        let workflow = generators::montage(1, wf_seed);
+        let (dmin, dmax) = deadline_anchors(&workflow, &deco.store.spec);
+        PlanRequest {
+            tenant,
+            workflow,
+            deadline: 0.5 * (dmin + dmax),
+            percentile: 0.9,
+            budget_hint: None,
+        }
+    }
+
+    #[test]
+    fn canonical_deadline_floors_to_buckets_conservatively() {
+        assert_eq!(canonical_deadline(45.0, 60.0), 45.0); // below one bucket: kept
+        assert_eq!(canonical_deadline(60.0, 60.0), 60.0);
+        assert_eq!(canonical_deadline(61.0, 60.0), 60.0);
+        assert_eq!(canonical_deadline(179.9, 60.0), 120.0);
+        assert!(
+            canonical_deadline(179.9, 60.0) <= 179.9,
+            "never later than asked"
+        );
+    }
+
+    #[test]
+    fn identical_requests_hit_after_the_first_cycle() {
+        let mut server = PlanServer::new(small_deco(), ServeConfig::default());
+        let trace = ArrivalTrace::new(vec![
+            Arrival {
+                at_tick: 0.0,
+                request: request(1, 7),
+            },
+            Arrival {
+                at_tick: 1e9,
+                request: request(2, 7),
+            },
+        ]);
+        let (responses, stats) = server.serve_trace(&trace, 1);
+        assert_eq!(responses.len(), 2);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        let lines: Vec<String> = responses.iter().map(|r| r.canonical_line()).collect();
+        assert!(lines[0].contains("source=cold"), "{}", lines[0]);
+        assert!(lines[1].contains("source=warm"), "{}", lines[1]);
+        // Same key, bit-identical plan payload either way.
+        assert_eq!(responses[0].key, responses[1].key);
+    }
+
+    #[test]
+    fn same_cycle_duplicates_coalesce_onto_one_solve() {
+        let mut server = PlanServer::new(small_deco(), ServeConfig::default());
+        let trace = ArrivalTrace::new(vec![
+            Arrival {
+                at_tick: 0.0,
+                request: request(1, 7),
+            },
+            Arrival {
+                at_tick: 0.0,
+                request: request(2, 7),
+            },
+            Arrival {
+                at_tick: 0.0,
+                request: request(3, 7),
+            },
+        ]);
+        let (responses, stats) = server.serve_trace(&trace, 2);
+        assert_eq!(stats.misses, 1, "one solve for three equal keys");
+        assert_eq!(stats.coalesced, 2);
+        assert_eq!(stats.hits, 0);
+        assert!(responses[0].canonical_line().contains("source=cold"));
+        assert!(responses[1].canonical_line().contains("source=coalesced"));
+    }
+
+    #[test]
+    fn overflow_arrivals_are_rejected_with_overload() {
+        let config = ServeConfig {
+            queue_capacity: 2,
+            batch_size: 2,
+            ..ServeConfig::default()
+        };
+        let mut server = PlanServer::new(small_deco(), config);
+        let arrivals = (0..4)
+            .map(|i| Arrival {
+                at_tick: 0.0,
+                request: request(i, 7),
+            })
+            .collect();
+        let (responses, stats) = server.serve_trace(&ArrivalTrace::new(arrivals), 1);
+        assert_eq!(stats.rejected_overload, 2);
+        assert_eq!(stats.planned, 2);
+        let rejected: Vec<_> = responses
+            .iter()
+            .filter(|r| matches!(&r.outcome, ServeOutcome::Rejected { reason } if reason.contains("overloaded")))
+            .collect();
+        assert_eq!(rejected.len(), 2);
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_not_solved() {
+        let mut server = PlanServer::new(small_deco(), ServeConfig::default());
+        let mut bad_deadline = request(1, 7);
+        bad_deadline.deadline = f64::NAN;
+        let mut bad_pct = request(2, 7);
+        bad_pct.percentile = 1.5;
+        let empty = PlanRequest {
+            tenant: 3,
+            workflow: deco_workflow::Workflow::new("empty"),
+            deadline: 100.0,
+            percentile: 0.9,
+            budget_hint: None,
+        };
+        let trace = ArrivalTrace::new(vec![
+            Arrival {
+                at_tick: 0.0,
+                request: bad_deadline,
+            },
+            Arrival {
+                at_tick: 0.0,
+                request: bad_pct,
+            },
+            Arrival {
+                at_tick: 0.0,
+                request: empty,
+            },
+        ]);
+        let (responses, stats) = server.serve_trace(&trace, 1);
+        assert_eq!(stats.rejected_invalid, 3);
+        assert_eq!(stats.misses, 0);
+        assert!(responses
+            .iter()
+            .all(|r| matches!(r.outcome, ServeOutcome::Rejected { .. })));
+    }
+
+    #[test]
+    fn waits_reflect_batched_service_in_model_ticks() {
+        // batch_size 1 with a tick pool: the second request must wait for
+        // the first's service before its cycle starts.
+        let config = ServeConfig {
+            batch_size: 1,
+            cycle_tick_pool: Some(1e7),
+            budget: SearchBudget::ticks(1e7),
+            ..ServeConfig::default()
+        };
+        let mut server = PlanServer::new(small_deco(), config);
+        let trace = ArrivalTrace::new(vec![
+            Arrival {
+                at_tick: 0.0,
+                request: request(1, 7),
+            },
+            Arrival {
+                at_tick: 0.0,
+                request: request(2, 11),
+            },
+        ]);
+        let (_, stats) = server.serve_trace(&trace, 1);
+        assert_eq!(stats.waits.len(), 2);
+        assert_eq!(stats.waits[0], 0.0);
+        assert!(
+            stats.waits[1] > 0.0,
+            "second request waits out the first solve: {:?}",
+            stats.waits
+        );
+        assert_eq!(stats.cycles, 2);
+    }
+}

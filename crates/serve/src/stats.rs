@@ -1,0 +1,156 @@
+//! Serving counters and queue-wait percentiles.
+//!
+//! Everything here is measured in deterministic quantities — request
+//! counts and device-model ticks — so two runs of the same trace produce
+//! *equal* `ServeStats` regardless of how many worker threads raced to
+//! produce them. The interleaving tests assert exactly that.
+
+use deco_prob::hash::StableHasher;
+use std::hash::Hasher;
+
+/// Counters for one [`crate::server::PlanServer::serve_trace`] run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeStats {
+    /// Requests admitted and answered (planned or rejected-invalid).
+    pub requests: u64,
+    /// Requests answered with a plan.
+    pub planned: u64,
+    /// Cache hits (warm responses).
+    pub hits: u64,
+    /// Cold solves (unique cache misses dispatched to workers).
+    pub misses: u64,
+    /// Requests answered by a sibling's solve in the same cycle.
+    pub coalesced: u64,
+    /// Requests refused by admission backpressure.
+    pub rejected_overload: u64,
+    /// Requests refused for structural invalidity.
+    pub rejected_invalid: u64,
+    /// Cold solves where even the fallback chain failed.
+    pub solve_failures: u64,
+    /// Cache entries evicted by LRU pressure.
+    pub evictions: u64,
+    /// Cache entries purged for belonging to an older catalog epoch.
+    pub stale_purged: u64,
+    /// Solve cycles executed.
+    pub cycles: u64,
+    /// Plans produced by the Deco beam search stage.
+    pub stage_deco: u64,
+    /// Plans produced by the follow-the-cost heuristic stage.
+    pub stage_heuristic: u64,
+    /// Plans produced by the autoscaling backstop stage.
+    pub stage_autoscaling: u64,
+    /// Per-planned-request queueing delay (admission → cycle start), in
+    /// model ticks; kept in response (seq) order.
+    pub waits: Vec<f64>,
+}
+
+/// Nearest-rank percentile (p in \[0, 1\]) over an unsorted slice.
+fn nearest_rank(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+impl ServeStats {
+    /// Median queue wait in model ticks.
+    pub fn p50_wait(&self) -> f64 {
+        nearest_rank(&self.waits, 0.50)
+    }
+
+    /// 95th-percentile queue wait in model ticks.
+    pub fn p95_wait(&self) -> f64 {
+        nearest_rank(&self.waits, 0.95)
+    }
+
+    /// Warm fraction of all planned responses (hits + coalesced count as
+    /// warm; 0 when nothing was planned).
+    pub fn hit_rate(&self) -> f64 {
+        if self.planned == 0 {
+            0.0
+        } else {
+            (self.hits + self.coalesced) as f64 / self.planned as f64
+        }
+    }
+
+    /// Canonical single-line rendering (floats as raw bits) for
+    /// byte-comparison across worker counts.
+    pub fn canonical_line(&self) -> String {
+        format!(
+            "requests={} planned={} hits={} misses={} coalesced={} \
+             rej_overload={} rej_invalid={} solve_failures={} evictions={} \
+             stale_purged={} cycles={} deco={} heuristic={} autoscaling={} \
+             p50={:016x} p95={:016x}",
+            self.requests,
+            self.planned,
+            self.hits,
+            self.misses,
+            self.coalesced,
+            self.rejected_overload,
+            self.rejected_invalid,
+            self.solve_failures,
+            self.evictions,
+            self.stale_purged,
+            self.cycles,
+            self.stage_deco,
+            self.stage_heuristic,
+            self.stage_autoscaling,
+            self.p50_wait().to_bits(),
+            self.p95_wait().to_bits(),
+        )
+    }
+
+    /// Stable digest of the canonical line plus every recorded wait.
+    pub fn digest(&self) -> u64 {
+        let mut h = StableHasher::with_seed(0x57A7);
+        h.write(self.canonical_line().as_bytes());
+        for &w in &self.waits {
+            h.write_f64(w);
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let stats = ServeStats {
+            waits: vec![4.0, 1.0, 3.0, 2.0],
+            ..ServeStats::default()
+        };
+        assert_eq!(stats.p50_wait(), 2.0);
+        assert_eq!(stats.p95_wait(), 4.0);
+        assert_eq!(ServeStats::default().p50_wait(), 0.0);
+    }
+
+    #[test]
+    fn hit_rate_counts_coalesced_as_warm() {
+        let stats = ServeStats {
+            planned: 10,
+            hits: 4,
+            coalesced: 1,
+            misses: 5,
+            ..ServeStats::default()
+        };
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(ServeStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn digest_is_sensitive_to_waits_beyond_percentiles() {
+        let a = ServeStats {
+            waits: vec![1.0, 2.0, 3.0],
+            ..ServeStats::default()
+        };
+        let mut b = a.clone();
+        assert_eq!(a.digest(), b.digest());
+        b.waits[0] = 1.5; // p50/p95 unchanged, digest must still move
+        assert_ne!(a.digest(), b.digest());
+    }
+}

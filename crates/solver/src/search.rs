@@ -50,6 +50,19 @@ impl SearchBudget {
         }
     }
 
+    /// Split this budget fairly across `n` concurrent consumers: each
+    /// share gets `ticks / n` (and `wall_seconds / n`); an unlimited
+    /// budget stays unlimited. This is the allocation rule multi-tenant
+    /// serving uses to divide a per-cycle tick pool among the tenants of
+    /// one solver batch.
+    pub fn fair_share(&self, n: usize) -> Self {
+        assert!(n >= 1, "fair_share needs at least one consumer");
+        SearchBudget {
+            ticks: self.ticks.map(|t| t / n as f64),
+            wall_seconds: self.wall_seconds.map(|w| w / n as f64),
+        }
+    }
+
     fn exhausted(&self, spent_ticks: f64, t0: &Instant) -> bool {
         self.ticks.is_some_and(|b| spent_ticks >= b)
             || self
@@ -161,7 +174,7 @@ pub fn generic_search<P: SearchProblem>(
             .batch
             .min(queue.len())
             .min(opts.max_states - stats.states_evaluated);
-        let batch: Vec<P::State> = (0..take).map(|_| queue.pop_front().unwrap()).collect();
+        let batch: Vec<P::State> = queue.drain(..take).collect();
         let (evals, timing) = evaluate_batch(problem, &batch, backend, opts.seed);
         stats.states_evaluated += batch.len();
         stats.batches += 1;
@@ -241,15 +254,12 @@ pub fn beam_search<P: SearchProblem>(
             (false, true) => std::cmp::Ordering::Greater,
             (true, true) => {
                 if minimize {
-                    a.objective.partial_cmp(&b.objective).unwrap()
+                    a.objective.total_cmp(&b.objective)
                 } else {
-                    b.objective.partial_cmp(&a.objective).unwrap()
+                    b.objective.total_cmp(&a.objective)
                 }
             }
-            (false, false) => b
-                .constraint_margin
-                .partial_cmp(&a.constraint_margin)
-                .unwrap(),
+            (false, false) => b.constraint_margin.total_cmp(&a.constraint_margin),
         }
     };
 
@@ -462,6 +472,22 @@ pub fn astar_search<P: SearchProblem>(
 mod tests {
     use super::*;
     use crate::transform::promotions;
+
+    #[test]
+    fn fair_share_divides_ticks_and_preserves_unlimited() {
+        let b = SearchBudget::ticks(120.0);
+        let share = b.fair_share(4);
+        assert_eq!(share.ticks, Some(30.0));
+        assert_eq!(share.wall_seconds, None);
+        assert!(SearchBudget::unlimited().fair_share(8).is_unlimited());
+        let walled = SearchBudget {
+            ticks: Some(10.0),
+            wall_seconds: Some(2.0),
+        };
+        let w = walled.fair_share(2);
+        assert_eq!(w.ticks, Some(5.0));
+        assert_eq!(w.wall_seconds, Some(1.0));
+    }
 
     /// Minimize sum(s) subject to sum(s) >= target — the shape of the
     /// scheduling problem: promotion raises cost and only enough of it

@@ -13,6 +13,8 @@
 //! * [`baselines`] — Autoscaling, SPSS and the follow-the-cost heuristic.
 //! * [`faults`] — deterministic fault injection and the recovery driver.
 //! * [`engine`] — the Deco engine proper (the paper's contribution).
+//! * [`serve`] — the multi-tenant plan-serving engine (admission queue,
+//!   content-addressed plan cache, batched solver workers).
 //! * [`pegasus`] — the workflow management system integration.
 
 pub use deco_baselines as baselines;
@@ -22,6 +24,7 @@ pub use deco_faults as faults;
 pub use deco_gpu as gpu;
 pub use deco_pegasus as pegasus;
 pub use deco_prob as prob;
+pub use deco_serve as serve;
 pub use deco_solver as solver;
 pub use deco_wlog as wlog;
 pub use deco_workflow as workflow;

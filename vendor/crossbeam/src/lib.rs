@@ -1,6 +1,185 @@
 //! Vendored stand-in for `crossbeam`, backed by `std::thread::scope`
-//! (stable since Rust 1.63). Only the `thread::scope` + `Scope::spawn`
-//! surface used by `deco-gpusim` is provided.
+//! (stable since Rust 1.63). Two surfaces are provided: the
+//! `thread::scope` + `Scope::spawn` pair used by `deco-gpusim`, and the
+//! `channel` module (bounded/unbounded MPMC channels on a mutex + condvar
+//! pair) used by the `deco-serve` worker pool.
+
+pub mod channel {
+    //! Multi-producer multi-consumer channels mirroring
+    //! `crossbeam-channel`'s `bounded`/`unbounded` constructors and the
+    //! blocking `send`/`recv`/`iter` surface. A bounded sender blocks when
+    //! the buffer is full; `recv` blocks until a message arrives or every
+    //! sender has been dropped.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// The channel was disconnected: every receiver dropped before `send`.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// The channel is empty and every sender has been dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    struct State<T> {
+        buf: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        /// `None` = unbounded.
+        cap: Option<usize>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Sending half; clonable for multiple producers.
+    pub struct Sender<T>(Arc<Chan<T>>);
+
+    /// Receiving half; clonable for multiple consumers (work-stealing).
+    pub struct Receiver<T>(Arc<Chan<T>>);
+
+    fn chan<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let c = Arc::new(Chan {
+            state: Mutex::new(State {
+                buf: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            cap,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender(Arc::clone(&c)), Receiver(c))
+    }
+
+    /// A channel holding at most `cap` in-flight messages (`cap >= 1`);
+    /// `send` blocks while full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap >= 1, "bounded channel needs capacity >= 1");
+        chan(Some(cap))
+    }
+
+    /// A channel with no capacity bound; `send` never blocks.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        chan(None)
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the message is enqueued (or every receiver is gone).
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.0.state.lock().expect("channel mutex poisoned");
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match self.0.cap {
+                    Some(cap) if st.buf.len() >= cap => {
+                        st = self.0.not_full.wait(st).expect("channel mutex poisoned");
+                    }
+                    _ => break,
+                }
+            }
+            st.buf.push_back(value);
+            drop(st);
+            self.0.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives; `Err` once the buffer is drained
+        /// and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.0.state.lock().expect("channel mutex poisoned");
+            loop {
+                if let Some(v) = st.buf.pop_front() {
+                    drop(st);
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.0.not_empty.wait(st).expect("channel mutex poisoned");
+            }
+        }
+
+        /// Blocking iterator: yields until the channel disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Iterator over received messages (see [`Receiver::iter`]).
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().expect("channel mutex poisoned").senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0
+                .state
+                .lock()
+                .expect("channel mutex poisoned")
+                .receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().expect("channel mutex poisoned");
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                // Wake blocked receivers so they observe disconnection.
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().expect("channel mutex poisoned");
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                // Wake blocked senders so they observe disconnection.
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+}
 
 pub mod thread {
     /// Mirror of `crossbeam::thread::Scope`, wrapping the std scope.
@@ -49,6 +228,71 @@ pub mod thread {
 #[cfg(test)]
 mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn mpmc_channel_delivers_every_message_exactly_once() {
+        let (tx, rx) = super::channel::unbounded::<usize>();
+        let total = 200usize;
+        let received = std::sync::Mutex::new(Vec::new());
+        super::thread::scope(|s| {
+            let workers: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move |_| {
+                        let mut mine = Vec::new();
+                        while let Ok(v) = rx.recv() {
+                            mine.push(v);
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            for i in 0..total {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            drop(rx);
+            for w in workers {
+                received.lock().unwrap().extend(w.join().unwrap());
+            }
+        })
+        .unwrap();
+        let mut got = received.into_inner().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..total).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_channel_applies_backpressure() {
+        let (tx, rx) = super::channel::bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        // A third send must block until a recv frees a slot.
+        let t = std::thread::spawn(move || {
+            tx.send(3).unwrap();
+        });
+        assert_eq!(rx.recv(), Ok(1));
+        t.join().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn recv_errors_once_senders_are_gone() {
+        let (tx, rx) = super::channel::unbounded::<u8>();
+        tx.send(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(9));
+        assert!(rx.recv().is_err());
+        assert_eq!(rx.iter().count(), 0);
+    }
+
+    #[test]
+    fn send_errors_once_receivers_are_gone() {
+        let (tx, rx) = super::channel::unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
 
     #[test]
     fn scoped_threads_can_borrow_and_join() {
