@@ -47,6 +47,7 @@ fn request_for(wf: Workflow, tenant: u32, spec: &CloudSpec) -> PlanRequest {
         deadline: 0.5 * (dmin + dmax),
         percentile: 0.9,
         budget_hint: None,
+        priority: deco_serve::Priority::default(),
     }
 }
 

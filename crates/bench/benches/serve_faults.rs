@@ -1,0 +1,163 @@
+//! Serving under faults: quiescent overhead and goodput under crashes.
+//!
+//! Two criterion groups bracket the robustness machinery added to the
+//! serving layer: `quiescent` replays the same warm trace through the
+//! plain `serve_trace` entry point and through `serve_trace_session`
+//! with an empty fault plan (the two must cost the same — the fault
+//! path is dormant), and `faulted` replays the mixed smoke trace under
+//! a seeded 10 % worker-crash plan. Beyond the criterion output, the
+//! bench writes `BENCH_serve_faults.json` at the repository root:
+//! measured quiescent overhead (acceptance: session/plain ≤ 1.10) and
+//! the goodput, crash, and retry counters of the faulted smoke run
+//! (acceptance: goodput ≥ 0.95 at 10 % crashes).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use deco_cloud::{CloudSpec, MetadataStore};
+use deco_core::estimate::deadline_anchors;
+use deco_core::Deco;
+use deco_serve::{
+    Arrival, ArrivalTrace, PlanRequest, PlanServer, Priority, ServeConfig, ServeSession,
+    WorkerFaultPlan,
+};
+use deco_workflow::generators;
+use deco_workflow::Workflow;
+use std::time::{Duration, Instant};
+
+const WORKERS: usize = 4;
+const CRASH_PROB: f64 = 0.10;
+
+fn engine() -> Deco {
+    let spec = CloudSpec::amazon_ec2();
+    let store = MetadataStore::from_ground_truth(spec, 25);
+    let mut d = Deco::new(store);
+    d.options.mc_iters = 30;
+    d.options.search.max_states = 150;
+    d
+}
+
+fn shapes() -> Vec<Workflow> {
+    let mut shapes = Vec::new();
+    for s in 0..4u64 {
+        shapes.push(generators::montage(1, 80 + s));
+        shapes.push(generators::ligo(12, 80 + s));
+    }
+    shapes
+}
+
+fn request_for(wf: Workflow, tenant: u32, spec: &CloudSpec) -> PlanRequest {
+    let (dmin, dmax) = deadline_anchors(&wf, spec);
+    PlanRequest {
+        tenant,
+        workflow: wf,
+        deadline: 0.5 * (dmin + dmax),
+        percentile: 0.9,
+        budget_hint: None,
+        priority: Priority::default(),
+    }
+}
+
+/// One request per distinct shape, all at tick 0: warm after one replay.
+fn distinct_trace(spec: &CloudSpec) -> ArrivalTrace {
+    let arrivals = shapes()
+        .into_iter()
+        .enumerate()
+        .map(|(i, wf)| Arrival {
+            at_tick: 0.0,
+            request: request_for(wf, i as u32 % 4, spec),
+        })
+        .collect();
+    ArrivalTrace::new(arrivals)
+}
+
+/// The CI smoke trace: 200 mixed Ligo/Montage requests from 4 tenants.
+fn smoke_trace(spec: &CloudSpec) -> ArrivalTrace {
+    let shapes = shapes();
+    let arrivals = (0..200u32)
+        .map(|i| Arrival {
+            at_tick: f64::from(i) * 1e9,
+            request: request_for(shapes[(i as usize) % shapes.len()].clone(), i % 4, spec),
+        })
+        .collect();
+    ArrivalTrace::new(arrivals)
+}
+
+fn serve_faults(c: &mut Criterion) {
+    let deco = engine();
+    let spec = deco.store.spec.clone();
+    let trace = distinct_trace(&spec);
+    let quiescent = ServeSession::default();
+
+    let mut warmed = PlanServer::new(deco.clone(), ServeConfig::default());
+    warmed.serve_trace(&trace, WORKERS);
+
+    let mut group = c.benchmark_group("serve_faults");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500));
+    group.bench_function("warm_plain", |b| {
+        b.iter(|| black_box(warmed.serve_trace(black_box(&trace), WORKERS)))
+    });
+    group.bench_function("warm_quiescent_session", |b| {
+        b.iter(|| black_box(warmed.serve_trace_session(black_box(&trace), WORKERS, &quiescent)))
+    });
+    group.finish();
+
+    // Hand-timed quiescent overhead on the warm path (where the fault
+    // machinery's bookkeeping would show up if it cost anything).
+    // Interleaved so clock drift and cache state hit both sides equally.
+    let reps = 200;
+    let mut plain_secs = 0.0;
+    let mut session_secs = 0.0;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let (_, stats) = warmed.serve_trace(&trace, WORKERS);
+        plain_secs += t0.elapsed().as_secs_f64();
+        assert_eq!(stats.hits as usize, trace.len(), "warmed server: all hits");
+        let t0 = Instant::now();
+        let (_, stats) = warmed.serve_trace_session(&trace, WORKERS, &quiescent);
+        session_secs += t0.elapsed().as_secs_f64();
+        assert_eq!(stats.hits as usize, trace.len(), "warmed server: all hits");
+    }
+    let overhead = session_secs / plain_secs;
+
+    // Goodput of the 200-request smoke trace under 10% worker crashes.
+    let session = ServeSession {
+        faults: WorkerFaultPlan::crashes(1234, CRASH_PROB),
+        refreshes: Vec::new(),
+    };
+    let mut faulted_server = PlanServer::new(deco, ServeConfig::default());
+    let t0 = Instant::now();
+    let (responses, smoke) =
+        faulted_server.serve_trace_session(&smoke_trace(&spec), WORKERS, &session);
+    let faulted_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(responses.len(), 200, "every request is answered");
+    let goodput = smoke.planned as f64 / 200.0;
+    println!(
+        "serve_faults quiescent overhead {overhead:.3}x  smoke goodput {goodput:.3}  \
+         crashes {} retries {} escalated {} quarantined {}",
+        smoke.worker_crashes, smoke.retries, smoke.escalated, smoke.quarantined
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve_faults\",\n  \"workers\": {WORKERS},\n  \
+         \"crash_prob\": {CRASH_PROB},\n  \
+         \"acceptance\": \"quiescent session/plain <= 1.10; goodput >= 0.95 at 10% crashes\",\n  \
+         \"quiescent_overhead\": {overhead:.4},\n  \"smoke\": {{\n    \
+         \"requests\": {}, \"planned\": {}, \"goodput\": {goodput:.4},\n    \
+         \"crashes\": {}, \"retries\": {}, \"escalated\": {}, \"quarantined\": {},\n    \
+         \"cycles\": {}, \"wall_secs\": {faulted_secs:.3}\n  }}\n}}\n",
+        smoke.requests,
+        smoke.planned,
+        smoke.worker_crashes,
+        smoke.retries,
+        smoke.escalated,
+        smoke.quarantined,
+        smoke.cycles,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve_faults.json");
+    std::fs::write(out, json).expect("write BENCH_serve_faults.json");
+}
+
+criterion_group!(benches, serve_faults);
+criterion_main!(benches);

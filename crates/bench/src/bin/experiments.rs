@@ -6,12 +6,14 @@
 //! ```
 //!
 //! Targets: table2, fig1, fig2, fig6, fig7, fig8, fig9, fig10, fig11,
-//! speedup-sched, speedup-ens, ablations, all. `--quick` shrinks the
-//! workloads (see `deco_bench::Scale`).
+//! speedup-sched, speedup-ens, serve, ablations, all. `--quick` shrinks
+//! the workloads (see `deco_bench::Scale`). The `serve` target also
+//! writes the faulted run's per-cycle rows to
+//! `results/serve_cycles.jsonl`.
 
 use deco_bench::common::Env;
 use deco_bench::{
-    ablation, ensemble_exp, figures, followcost_exp, scheduling_exp, speedup_exp, Scale,
+    ablation, ensemble_exp, figures, followcost_exp, scheduling_exp, serve_exp, speedup_exp, Scale,
 };
 
 fn main() {
@@ -85,6 +87,20 @@ fn main() {
             "{}",
             speedup_exp::speedup_ensemble(&env)
                 .render("Section 6.3.2: GPU vs CPU speedups + per-task overhead (ensembles)")
+        );
+    }
+    if want("serve") {
+        eprintln!("# running serve …");
+        let r = serve_exp::run(&env);
+        println!("{}", r.render());
+        let out = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/serve_cycles.jsonl"
+        );
+        std::fs::write(out, r.cycle_rows_jsonl()).expect("write results/serve_cycles.jsonl");
+        eprintln!(
+            "# wrote {} per-cycle rows to results/serve_cycles.jsonl",
+            r.faulted.cycle_rows.len()
         );
     }
     if want("ablations") {

@@ -18,6 +18,7 @@ pub mod ensemble_exp;
 pub mod figures;
 pub mod followcost_exp;
 pub mod scheduling_exp;
+pub mod serve_exp;
 pub mod speedup_exp;
 
 /// Experiment scale.

@@ -133,13 +133,23 @@ pub struct RetryConfig {
     pub backoff_cap: f64,
 }
 
+/// Capped exponential backoff before retry number `retry` (1-based):
+/// `base * 2^(retry-1)` capped at `cap`. This is the single backoff
+/// implementation in the workspace — the fault-recovery driver spaces
+/// instance re-dispatch with it (in seconds) and the serving layer spaces
+/// crashed-solve re-enqueues with it (in device-model ticks), so the two
+/// subsystems can never drift apart on the sequence.
+pub fn capped_backoff(base: f64, cap: f64, retry: u32) -> f64 {
+    assert!(retry >= 1, "backoff is defined for retries, not attempt 0");
+    let factor = 2f64.powi((retry - 1).min(62) as i32);
+    (base * factor).min(cap)
+}
+
 impl RetryConfig {
     /// Backoff before retry number `retry` (1-based): `base * 2^(retry-1)`
-    /// capped at `backoff_cap`.
+    /// capped at `backoff_cap` (see [`capped_backoff`]).
     pub fn backoff(&self, retry: u32) -> f64 {
-        assert!(retry >= 1, "backoff is defined for retries, not attempt 0");
-        let factor = 2f64.powi((retry - 1).min(62) as i32);
-        (self.backoff_base * factor).min(self.backoff_cap)
+        capped_backoff(self.backoff_base, self.backoff_cap, retry)
     }
 }
 
@@ -215,5 +225,24 @@ mod tests {
         assert_eq!(r.backoff(2), 60.0);
         assert_eq!(r.backoff(3), 100.0, "capped");
         assert_eq!(r.backoff(5), 100.0);
+    }
+
+    #[test]
+    fn shared_backoff_helper_pins_the_tick_sequence() {
+        // Both call sites — fault-recovery seconds and serve-side ticks —
+        // must see exactly this doubling-then-capped sequence.
+        let seq: Vec<f64> = (1..=6).map(|r| capped_backoff(8.0, 100.0, r)).collect();
+        assert_eq!(seq, vec![8.0, 16.0, 32.0, 64.0, 100.0, 100.0]);
+        // The helper and the RetryConfig method are the same function.
+        let r = RetryConfig {
+            max_attempts: 6,
+            backoff_base: 8.0,
+            backoff_cap: 100.0,
+        };
+        for retry in 1..=6 {
+            assert_eq!(r.backoff(retry), capped_backoff(8.0, 100.0, retry));
+        }
+        // Extreme retry counts saturate at the cap instead of overflowing.
+        assert_eq!(capped_backoff(8.0, 100.0, 200), 100.0);
     }
 }

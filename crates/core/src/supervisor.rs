@@ -119,29 +119,8 @@ pub fn plan_with_fallback_scratch(
     budget: &SearchBudget,
     scratch: &mut EvalScratch,
 ) -> Result<SupervisedPlan, DecoError> {
-    // Validate before SchedulingProblem::new / critical_path can assert.
-    if wf.is_empty() {
-        return Err(DecoError::Plan("workflow has no tasks".into()));
-    }
-    if !(deadline.is_finite() && deadline > 0.0) {
-        return Err(DecoError::Plan(format!(
-            "deadline must be positive and finite, got {deadline}"
-        )));
-    }
-    if !(percentile > 0.0 && percentile <= 1.0) {
-        return Err(DecoError::Plan(format!(
-            "percentile must be in (0, 1], got {percentile}"
-        )));
-    }
-
-    let spec = &deco.store.spec;
-    let mut problem = match &deco.options.retry {
-        Some(retry) => {
-            SchedulingProblem::new_failure_aware(wf, spec, &deco.store, deadline, percentile, retry)
-        }
-        None => SchedulingProblem::new(wf, spec, &deco.store, deadline, percentile),
-    };
-    problem.mc_iters = deco.options.mc_iters;
+    validate_request(wf, deadline, percentile)?;
+    let mut problem = build_problem(deco, wf, deadline, percentile);
 
     let mut skipped = Vec::new();
 
@@ -184,6 +163,103 @@ pub fn plan_with_fallback_scratch(
         }),
     }
 
+    let truncated = result.stats.truncated;
+    Ok(degrade_chain(
+        deco,
+        wf,
+        deadline,
+        &mut problem,
+        spent,
+        truncated,
+        skipped,
+        scratch,
+    ))
+}
+
+/// Skip the Deco search entirely and answer from the degradation chain
+/// (heuristic, then autoscaling). This is what a serving layer uses for
+/// *quarantined* or *strike-escalated* requests: a content key that has
+/// repeatedly wedged solver workers must still receive a terminal plan,
+/// but is no longer worth search budget. The caller supplies the skip
+/// reason, which lands verbatim in the provenance's Deco-stage
+/// [`StageSkip`] so the response records *why* the search never ran.
+pub fn plan_fallback_only(
+    deco: &Deco,
+    wf: &Workflow,
+    deadline: f64,
+    percentile: f64,
+    skip_reason: &str,
+    scratch: &mut EvalScratch,
+) -> Result<SupervisedPlan, DecoError> {
+    validate_request(wf, deadline, percentile)?;
+    let mut problem = build_problem(deco, wf, deadline, percentile);
+    let skipped = vec![StageSkip {
+        stage: PlanStage::Deco,
+        reason: skip_reason.to_string(),
+    }];
+    Ok(degrade_chain(
+        deco,
+        wf,
+        deadline,
+        &mut problem,
+        0.0,
+        false,
+        skipped,
+        scratch,
+    ))
+}
+
+/// Structural validation shared by every supervised entry point, ahead of
+/// any constructor that asserts.
+fn validate_request(wf: &Workflow, deadline: f64, percentile: f64) -> Result<(), DecoError> {
+    if wf.is_empty() {
+        return Err(DecoError::Plan("workflow has no tasks".into()));
+    }
+    if !(deadline.is_finite() && deadline > 0.0) {
+        return Err(DecoError::Plan(format!(
+            "deadline must be positive and finite, got {deadline}"
+        )));
+    }
+    if !(percentile > 0.0 && percentile <= 1.0) {
+        return Err(DecoError::Plan(format!(
+            "percentile must be in (0, 1], got {percentile}"
+        )));
+    }
+    Ok(())
+}
+
+fn build_problem<'a>(
+    deco: &'a Deco,
+    wf: &'a Workflow,
+    deadline: f64,
+    percentile: f64,
+) -> SchedulingProblem<'a> {
+    let spec = &deco.store.spec;
+    let mut problem = match &deco.options.retry {
+        Some(retry) => {
+            SchedulingProblem::new_failure_aware(wf, spec, &deco.store, deadline, percentile, retry)
+        }
+        None => SchedulingProblem::new(wf, spec, &deco.store, deadline, percentile),
+    };
+    problem.mc_iters = deco.options.mc_iters;
+    problem
+}
+
+/// Stages 2 and 3 of the chain, shared by the budgeted entry points (after
+/// a fruitless stage-1 search) and [`plan_fallback_only`] (which never
+/// searches). `spent`/`truncated` describe whatever stage-1 work happened.
+#[allow(clippy::too_many_arguments)]
+fn degrade_chain(
+    deco: &Deco,
+    wf: &Workflow,
+    deadline: f64,
+    problem: &mut SchedulingProblem<'_>,
+    spent: f64,
+    truncated: bool,
+    mut skipped: Vec<StageSkip>,
+    scratch: &mut EvalScratch,
+) -> SupervisedPlan {
+    let spec = &deco.store.spec;
     // Later stages do not search, so they charge nothing more against the
     // budget; `budget.minus_ticks(spent)` is what a caller replanning
     // mid-campaign should pass to the *next* supervised call.
@@ -192,7 +268,6 @@ pub fn plan_with_fallback_scratch(
         truncated,
         ..SearchStats::default()
     };
-    let truncated = result.stats.truncated;
 
     // --- stage 2: follow-the-cost heuristic ------------------------------
     // Cheapest single type whose mean critical path meets the deadline.
@@ -215,7 +290,7 @@ pub fn plan_with_fallback_scratch(
             problem.region = region;
             let evaluation = problem.evaluate_with(&types, state_seed(0xFA11, &types), scratch);
             let plan = problem.plan_of(&types);
-            return Ok(SupervisedPlan {
+            return SupervisedPlan {
                 plan: DecoPlan {
                     plan,
                     types,
@@ -228,7 +303,7 @@ pub fn plan_with_fallback_scratch(
                     budget_spent: spent,
                     skipped,
                 },
-            });
+            };
         }
         None => skipped.push(StageSkip {
             stage: PlanStage::Heuristic,
@@ -241,7 +316,7 @@ pub fn plan_with_fallback_scratch(
     problem.region = 0;
     let evaluation = problem.evaluate_with(&types, state_seed(0xFA11, &types), scratch);
     let plan = deco_cloud::Plan::packed_deadline(wf, &types, 0, spec, deadline);
-    Ok(SupervisedPlan {
+    SupervisedPlan {
         plan: DecoPlan {
             plan,
             types,
@@ -254,7 +329,7 @@ pub fn plan_with_fallback_scratch(
             budget_spent: spent,
             skipped,
         },
-    })
+    }
 }
 
 #[cfg(test)]

@@ -1,3 +1,7 @@
+// User-facing paths return typed results; panicking shortcuts are banned
+// from library code (tests may still unwrap).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 //! Deterministic fault injection for the Deco cloud simulator.
 //!
 //! Production IaaS deployments lose instances — spot revocations, hardware

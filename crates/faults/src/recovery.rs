@@ -5,7 +5,9 @@
 //! lost/unbootable instance), the driver provisions a replacement instance
 //! of the same type in the same region, moves the whole stranded group
 //! onto it (preserving consolidation, like the follow-the-cost migration
-//! path), and spaces attempts with capped exponential backoff. Each
+//! path), and spaces attempts with capped exponential backoff
+//! ([`deco_cloud::capped_backoff`] — the same single implementation the
+//! serving layer uses to space crashed-solve re-enqueues). Each
 //! replacement draws its *own* fate from the injector, so recovery can
 //! itself be disrupted. A task is abandoned after `max_attempts` strikes;
 //! its descendants then simply never dispatch and the run is reported
@@ -139,7 +141,11 @@ pub fn run_with_faults_policy(
             } else {
                 0.0
             };
-            let worst = group.iter().map(|t| strikes[t.index()]).max().unwrap();
+            let worst = group
+                .iter()
+                .map(|t| strikes[t.index()])
+                .max()
+                .expect("groups are built non-empty");
             let not_before = discovered + retry.backoff(worst);
             retries += group.iter().filter(|&&t| sim.is_failed(t)).count();
             let new_slot = sim.reassign_group_after(&group, vm, not_before);

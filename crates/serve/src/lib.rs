@@ -11,34 +11,44 @@
 //! same deadline bucket, the same price table. This crate puts a serving
 //! layer in front of [`deco_core::supervisor::plan_with_fallback`]:
 //!
-//! * [`queue`] — bounded admission with [`deco_core::DecoError::Overloaded`]
-//!   backpressure and per-tenant fair-share search budgets;
+//! * [`queue`] — bounded admission with priority-class drain ordering,
+//!   per-tenant queue quotas, deadline-aware shedding, and
+//!   [`deco_core::DecoError::Overloaded`] backpressure plus per-tenant
+//!   fair-share search budgets;
 //! * [`cache`] — a content-addressed plan cache keyed by the canonical
 //!   structural hash of (DAG shape, catalog epoch + price table, engine
 //!   options, bucketed deadline, percentile, budget); warm hits are
 //!   bit-identical to cold solves;
+//! * [`faults`] — seeded, worker-count-invariant injection of solver
+//!   worker crashes and stragglers, keyed per (virtual worker, cycle);
 //! * [`server`] — the cycle loop and the scoped solver-worker pool (one
 //!   reusable evaluation scratch per worker, vendored crossbeam
-//!   channels);
+//!   channels), with deterministic crash retry/quarantine and atomic
+//!   calibration refreshes between cycles;
 //! * [`request`] / [`stats`] — recorded arrival traces, canonical
-//!   response rendering, and deterministic serving statistics.
+//!   response rendering, and deterministic serving statistics with
+//!   per-cycle structured rows.
 //!
-//! The load-bearing property is **deterministic replay**: a fixed trace
-//! produces a byte-identical response stream and identical stats whether
-//! the pool runs 1, 2, or 8 workers, because every observable ordering is
-//! by content key or trace sequence, never by thread completion time.
+//! The load-bearing property is **deterministic replay**: a fixed
+//! (trace, fault seed) produces a byte-identical response stream and
+//! identical stats whether the pool runs 1, 2, or 8 workers, because
+//! every observable ordering is by content key or trace sequence — and
+//! worker fates are keyed by virtual worker — never by thread completion
+//! time.
 
 pub mod cache;
+pub mod faults;
 pub mod queue;
 pub mod request;
 pub mod server;
 pub mod stats;
 
 pub use cache::{plan_key, workflow_shape_hash, PlanCache};
+pub use faults::{WorkerFate, WorkerFaultPlan};
 pub use queue::AdmissionQueue;
 pub use request::{
-    Arrival, ArrivalTrace, PlanRequest, PlanResponse, PlanSource, ServeOutcome, ServedPlan,
-    TenantId,
+    Arrival, ArrivalTrace, PlanRequest, PlanResponse, PlanSource, Priority, ServeOutcome,
+    ServedPlan, TenantId,
 };
-pub use server::{canonical_deadline, PlanServer, ServeConfig};
-pub use stats::ServeStats;
+pub use server::{canonical_deadline, CalibrationRefresh, PlanServer, ServeConfig, ServeSession};
+pub use stats::{CycleRow, ServeStats};

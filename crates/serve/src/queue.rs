@@ -2,12 +2,19 @@
 //!
 //! The queue is bounded: once `capacity` requests are waiting, further
 //! arrivals are refused with [`DecoError::Overloaded`] — backpressure is a
-//! response, not a blocked caller. Within a solve cycle, the optional
-//! tick pool is split *per tenant first*, then per job within each
-//! tenant, so one tenant flooding the batch cannot starve another's
-//! search depth.
+//! response, not a blocked caller — *unless* the deadline-aware shed
+//! policy can identify an already-doomed waiter to sacrifice instead
+//! (see [`AdmissionQueue::shed_unmeetable`]). Draining is ordered by
+//! [`Priority`] class first, then FIFO within a class, so a queue of
+//! all-default-priority requests drains exactly like the original FIFO
+//! queue. An optional per-tenant quota rejects only the over-quota tenant
+//! ([`DecoError::QuotaExceeded`]) while other tenants keep being
+//! admitted. Within a solve cycle, the optional tick pool is split *per
+//! tenant first*, then per job within each tenant, so one tenant flooding
+//! the batch cannot starve another's search depth.
 
-use crate::request::{PlanRequest, TenantId};
+use crate::request::{PlanRequest, Priority, TenantId};
+use crate::server::canonical_deadline;
 use deco_core::DecoError;
 use deco_solver::SearchBudget;
 use std::collections::BTreeMap;
@@ -21,11 +28,14 @@ pub struct QueuedRequest {
     pub request: PlanRequest,
 }
 
-/// A bounded FIFO admission queue.
+/// A bounded admission queue, drained by (priority class, admission
+/// order).
 #[derive(Debug)]
 pub struct AdmissionQueue {
     pending: VecDeque<QueuedRequest>,
     capacity: usize,
+    /// Optional per-tenant bound on waiting requests.
+    tenant_quota: Option<usize>,
 }
 
 impl AdmissionQueue {
@@ -34,7 +44,15 @@ impl AdmissionQueue {
         AdmissionQueue {
             pending: VecDeque::new(),
             capacity,
+            tenant_quota: None,
         }
+    }
+
+    /// Bound each tenant to at most `quota` waiting requests.
+    pub fn with_tenant_quota(mut self, quota: usize) -> Self {
+        assert!(quota >= 1, "a zero quota admits nothing for anyone");
+        self.tenant_quota = Some(quota);
+        self
     }
 
     pub fn len(&self) -> usize {
@@ -45,14 +63,29 @@ impl AdmissionQueue {
         self.pending.is_empty()
     }
 
-    /// Admit a request, or refuse it with [`DecoError::Overloaded`] when
-    /// the queue is full.
+    /// Admit a request, or refuse it: [`DecoError::QuotaExceeded`] when
+    /// its tenant already holds its full share of the queue,
+    /// [`DecoError::Overloaded`] when the queue itself is full.
     pub fn try_admit(
         &mut self,
         seq: u64,
         arrived_at: f64,
         request: PlanRequest,
     ) -> Result<(), DecoError> {
+        if let Some(quota) = self.tenant_quota {
+            let queued = self
+                .pending
+                .iter()
+                .filter(|q| q.request.tenant == request.tenant)
+                .count();
+            if queued >= quota {
+                return Err(DecoError::QuotaExceeded {
+                    tenant: u64::from(request.tenant),
+                    queued,
+                    quota,
+                });
+            }
+        }
         if self.pending.len() >= self.capacity {
             return Err(DecoError::Overloaded {
                 queued: self.pending.len(),
@@ -67,10 +100,65 @@ impl AdmissionQueue {
         Ok(())
     }
 
-    /// Pop up to `n` requests in admission order.
+    /// Pop up to `n` requests, priority classes first
+    /// (`Interactive` → `Batch` → `Background`), admission order within a
+    /// class. With uniform priorities this is exactly FIFO.
     pub fn drain_batch(&mut self, n: usize) -> Vec<QueuedRequest> {
         let take = n.min(self.pending.len());
-        self.pending.drain(..take).collect()
+        if take == 0 {
+            return Vec::new();
+        }
+        // Rank by (priority, seq): stable and deterministic.
+        let mut order: Vec<usize> = (0..self.pending.len()).collect();
+        order.sort_by_key(|&i| (self.pending[i].request.priority, self.pending[i].seq));
+        order.truncate(take);
+        order.sort_unstable(); // remove back-to-front so indices stay valid
+        let mut batch: Vec<QueuedRequest> = order
+            .into_iter()
+            .rev()
+            .filter_map(|i| self.pending.remove(i))
+            .collect();
+        batch.sort_by_key(|q| (q.request.priority, q.seq));
+        batch
+    }
+
+    /// The deadline-aware shed policy: find the waiting request whose
+    /// bucket-floored canonical deadline is already unmeetable — its
+    /// remaining slack at `now`, minus the fair-share service estimate
+    /// `est_service_ticks` for one more cycle, has run out — and remove
+    /// it from the queue. Victims are chosen lowest [`Priority`] class
+    /// first, then most-negative slack, then smallest `seq`; `None` when
+    /// every waiter can still meet its deadline (the caller then falls
+    /// back to rejecting the newest arrival, the pre-shed behavior).
+    pub fn shed_unmeetable(
+        &mut self,
+        now: f64,
+        deadline_bucket: f64,
+        est_service_ticks: f64,
+    ) -> Option<QueuedRequest> {
+        let mut victim: Option<(Priority, f64, u64, usize)> = None;
+        for (i, q) in self.pending.iter().enumerate() {
+            let cd = canonical_deadline(q.request.deadline, deadline_bucket);
+            let slack = cd - (now - q.arrived_at) - est_service_ticks;
+            if slack >= 0.0 {
+                continue;
+            }
+            let cand = (q.request.priority, slack, q.seq, i);
+            // Lowest class first (Background > Batch in the Ord), then
+            // most expired (smallest slack), then earliest seq.
+            let better = match &victim {
+                None => true,
+                Some((p, s, seq, _)) => {
+                    cand.0 > *p
+                        || (cand.0 == *p && (cand.1 < *s || (cand.1 == *s && cand.2 < *seq)))
+                }
+            };
+            if better {
+                victim = Some(cand);
+            }
+        }
+        let (_, _, _, idx) = victim?;
+        self.pending.remove(idx)
     }
 }
 
@@ -120,7 +208,12 @@ mod tests {
             deadline: 100.0,
             percentile: 0.9,
             budget_hint: None,
+            priority: Priority::default(),
         }
+    }
+
+    fn req_pri(t: TenantId, priority: Priority) -> PlanRequest {
+        PlanRequest { priority, ..req(t) }
     }
 
     #[test]
@@ -142,6 +235,88 @@ mod tests {
         // Draining frees capacity again.
         q.try_admit(3, 3.0, req(3)).expect("admit after drain");
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn priority_classes_drain_ahead_of_fifo() {
+        let mut q = AdmissionQueue::new(8);
+        q.try_admit(0, 0.0, req_pri(1, Priority::Background))
+            .expect("admit");
+        q.try_admit(1, 0.0, req_pri(2, Priority::Batch))
+            .expect("admit");
+        q.try_admit(2, 0.0, req_pri(3, Priority::Interactive))
+            .expect("admit");
+        q.try_admit(3, 0.0, req_pri(4, Priority::Interactive))
+            .expect("admit");
+        // Interactive (seq order), then batch, then background.
+        let batch = q.drain_batch(3);
+        assert_eq!(
+            batch.iter().map(|b| b.seq).collect::<Vec<_>>(),
+            vec![2, 3, 1]
+        );
+        let rest = q.drain_batch(3);
+        assert_eq!(rest.iter().map(|b| b.seq).collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn tenant_quota_rejects_only_the_over_quota_tenant() {
+        let mut q = AdmissionQueue::new(8).with_tenant_quota(2);
+        q.try_admit(0, 0.0, req(1)).expect("admit");
+        q.try_admit(1, 0.0, req(1)).expect("admit");
+        let err = q
+            .try_admit(2, 0.0, req(1))
+            .expect_err("tenant 1 over quota");
+        assert!(matches!(
+            err,
+            DecoError::QuotaExceeded {
+                tenant: 1,
+                queued: 2,
+                quota: 2
+            }
+        ));
+        // Another tenant is still welcome.
+        q.try_admit(3, 0.0, req(2)).expect("tenant 2 within quota");
+        assert_eq!(q.len(), 3);
+        // Draining tenant 1's requests frees its quota again.
+        q.drain_batch(10);
+        q.try_admit(4, 0.0, req(1)).expect("admit after drain");
+    }
+
+    #[test]
+    fn shed_picks_the_expired_lowest_class_first() {
+        let mut q = AdmissionQueue::new(8);
+        // Deadline 100 s; bucket 60 floors it to 60 canonical ticks.
+        // Both the interactive and background requests arrived at 0 and
+        // have expired by now=500; the fresh one (arrived 490) has not.
+        q.try_admit(0, 0.0, req_pri(1, Priority::Interactive))
+            .expect("admit");
+        q.try_admit(1, 0.0, req_pri(2, Priority::Background))
+            .expect("admit");
+        q.try_admit(2, 490.0, req_pri(3, Priority::Batch))
+            .expect("admit");
+        let victim = q
+            .shed_unmeetable(500.0, 60.0, 0.0)
+            .expect("two waiters are doomed");
+        assert_eq!(victim.seq, 1, "background sheds before interactive");
+        let victim = q
+            .shed_unmeetable(500.0, 60.0, 0.0)
+            .expect("the doomed interactive is next");
+        assert_eq!(victim.seq, 0);
+        assert!(
+            q.shed_unmeetable(500.0, 60.0, 0.0).is_none(),
+            "the fresh request still has slack"
+        );
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn shed_accounts_for_the_fair_share_service_estimate() {
+        let mut q = AdmissionQueue::new(8);
+        q.try_admit(0, 0.0, req(1)).expect("admit");
+        // At now=30 with canonical deadline 60, slack is 30: alive with a
+        // free cycle, doomed once a cycle is estimated to cost 40 ticks.
+        assert!(q.shed_unmeetable(30.0, 60.0, 0.0).is_none());
+        assert!(q.shed_unmeetable(30.0, 60.0, 40.0).is_some());
     }
 
     #[test]

@@ -15,6 +15,32 @@ use std::hash::Hasher;
 /// Identifier of one tenant of the serving engine.
 pub type TenantId = u32;
 
+/// Admission priority class. Draining is ordered by class first
+/// (`Interactive` ahead of `Batch` ahead of `Background`), then FIFO
+/// within a class, and the deadline-aware shed policy victimizes lower
+/// classes first. A queue in which every request carries the default
+/// class drains exactly like the original FIFO queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Priority {
+    /// A user is waiting on the response (portal submissions).
+    Interactive,
+    /// Ordinary planned work — the default class.
+    #[default]
+    Batch,
+    /// Speculative or prefetch work; first to wait, first to shed.
+    Background,
+}
+
+impl Priority {
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+            Priority::Background => "background",
+        }
+    }
+}
+
 /// One tenant's request for a provisioning plan.
 #[derive(Debug, Clone)]
 pub struct PlanRequest {
@@ -31,6 +57,8 @@ pub struct PlanRequest {
     /// smaller of this and whatever the admission queue's fair-share
     /// policy allots.
     pub budget_hint: Option<f64>,
+    /// Admission priority class (drain ordering and shed preference).
+    pub priority: Priority,
 }
 
 /// One arrival: a request plus its arrival instant in model ticks.
@@ -82,6 +110,13 @@ pub enum PlanSource {
     /// Answered by a sibling request's solve in the same cycle (request
     /// coalescing: equal keys in one batch are solved exactly once).
     Coalesced,
+    /// Solved after at least one injected worker crash forced the job to
+    /// be re-enqueued with backoff (only under a non-empty
+    /// [`crate::faults::WorkerFaultPlan`]).
+    Retried,
+    /// Answered from the fallback degradation chain because the content
+    /// key is quarantined (it wedged solver workers too many times).
+    Quarantined,
 }
 
 impl PlanSource {
@@ -90,6 +125,8 @@ impl PlanSource {
             PlanSource::Cold => "cold",
             PlanSource::Warm => "warm",
             PlanSource::Coalesced => "coalesced",
+            PlanSource::Retried => "retried",
+            PlanSource::Quarantined => "quarantined",
         }
     }
 }
@@ -112,10 +149,18 @@ pub struct ServedPlan {
 #[derive(Debug, Clone)]
 pub enum ServeOutcome {
     Planned(Box<ServedPlan>),
-    /// Refused without planning: backpressure ([`deco_core::DecoError::Overloaded`])
-    /// or a structurally invalid request. The string is the `DecoError`
-    /// rendering.
+    /// Refused without planning: backpressure
+    /// ([`deco_core::DecoError::Overloaded`]), a per-tenant quota breach
+    /// ([`deco_core::DecoError::QuotaExceeded`]), or a structurally
+    /// invalid request. The string is the `DecoError` rendering.
     Rejected {
+        reason: String,
+    },
+    /// Dropped *after* admission by the deadline-aware shed policy: the
+    /// queue was full and this request's bucket-floored canonical
+    /// deadline was already unmeetable under the current fair-share
+    /// budget, so it was sacrificed instead of the newest arrival.
+    Shed {
         reason: String,
     },
 }
@@ -165,6 +210,10 @@ impl PlanResponse {
                 "seq={} tenant={} key={:016x} rejected reason={reason}",
                 self.seq, self.tenant, self.key
             ),
+            ServeOutcome::Shed { reason } => format!(
+                "seq={} tenant={} key={:016x} shed reason={reason}",
+                self.seq, self.tenant, self.key
+            ),
         }
     }
 
@@ -188,7 +237,32 @@ mod tests {
             deadline: 100.0,
             percentile: 0.9,
             budget_hint: None,
+            priority: Priority::default(),
         }
+    }
+
+    #[test]
+    fn priority_orders_interactive_ahead_of_batch_ahead_of_background() {
+        assert!(Priority::Interactive < Priority::Batch);
+        assert!(Priority::Batch < Priority::Background);
+        assert_eq!(Priority::default(), Priority::Batch);
+        assert_eq!(Priority::Background.name(), "background");
+    }
+
+    #[test]
+    fn shed_responses_render_canonically() {
+        let r = PlanResponse {
+            seq: 4,
+            tenant: 2,
+            key: 0xF00,
+            outcome: ServeOutcome::Shed {
+                reason: "deadline unmeetable".into(),
+            },
+        };
+        assert_eq!(
+            r.canonical_line(),
+            "seq=4 tenant=2 key=0000000000000f00 shed reason=deadline unmeetable"
+        );
     }
 
     #[test]

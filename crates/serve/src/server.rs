@@ -4,16 +4,25 @@
 //! a deterministic cycle loop:
 //!
 //! 1. **Admit** every arrival whose tick has passed, up to the queue
-//!    capacity; excess arrivals are answered `Rejected` with the
-//!    [`DecoError::Overloaded`] rendering (backpressure, not blocking).
-//! 2. **Drain** one batch and classify each request against the
-//!    content-addressed cache: warm hits answer immediately; equal keys
-//!    within the batch coalesce onto one solve; the remaining unique
-//!    misses become solve jobs with fair-share budgets.
-//! 3. **Solve** the miss jobs on a pool of worker threads (vendored
-//!    crossbeam channels, one reusable [`EvalScratch`] per worker), every
-//!    job routed through [`plan_with_fallback_scratch`] — the same
-//!    degradation chain a direct caller gets.
+//!    capacity and the optional per-tenant quota; a full queue first tries
+//!    the deadline-aware shed policy (drop a waiter whose canonical
+//!    deadline is already unmeetable) and only then answers the newcomer
+//!    `Rejected` with the [`DecoError::Overloaded`] rendering.
+//! 2. **Drain** one batch — priority classes first, FIFO within a class —
+//!    and classify each request against the content-addressed cache: warm
+//!    hits answer immediately; quarantined keys answer from the fallback
+//!    chain; equal keys within the batch (or matching a pending retry)
+//!    coalesce onto one solve; the remaining unique misses become solve
+//!    jobs with fair-share budgets.
+//! 3. **Solve** the jobs on a pool of worker threads (vendored crossbeam
+//!    channels, one reusable [`EvalScratch`] per worker), every job routed
+//!    through [`plan_with_fallback_scratch`]. A [`WorkerFaultPlan`] may
+//!    crash or straggle *virtual* workers: fates are keyed on
+//!    (virtual worker, cycle) with jobs assigned by canonical key rank, so
+//!    injected failures are independent of the physical thread count.
+//!    Crashed solves re-enqueue with capped exponential backoff charged
+//!    against their remaining budget; exhausted retries escalate to the
+//!    degradation chain; repeat offenders are quarantined.
 //! 4. **Integrate** results in canonical key order (a `BTreeMap`, so the
 //!    cache and stats are updated identically no matter which worker
 //!    finished first), respond in sequence order, and advance the model
@@ -21,14 +30,22 @@
 //!
 //! Because every step orders by content key or trace sequence — never by
 //! thread completion — the response stream and stats are byte-identical
-//! at 1, 2, or 8 workers. The integration tests pin this.
+//! at 1, 2, or 8 workers, with or without injected faults. The chaos
+//! tests pin this, and additionally pin that a quiescent fault plan is
+//! bit-identical to a server without the fault machinery at all.
 
 use crate::cache::{plan_key, PlanCache};
+use crate::faults::{WorkerFate, WorkerFaultPlan};
 use crate::queue::{effective_budget, fair_share_budgets, AdmissionQueue, QueuedRequest};
-use crate::request::{Arrival, ArrivalTrace, PlanResponse, PlanSource, ServeOutcome, ServedPlan};
-use crate::stats::ServeStats;
+use crate::request::{
+    Arrival, ArrivalTrace, PlanResponse, PlanSource, ServeOutcome, ServedPlan, TenantId,
+};
+use crate::stats::{CycleRow, ServeStats};
+use deco_cloud::{MetadataStore, RetryConfig};
 use deco_core::estimate::EvalScratch;
-use deco_core::supervisor::{plan_with_fallback_scratch, PlanStage, SupervisedPlan};
+use deco_core::supervisor::{
+    plan_fallback_only, plan_with_fallback_scratch, PlanStage, SupervisedPlan,
+};
 use deco_core::{Deco, DecoError};
 use deco_solver::SearchBudget;
 use deco_workflow::Workflow;
@@ -38,7 +55,7 @@ use std::collections::{BTreeMap, BTreeSet};
 /// production traces should size `queue_capacity` to tolerated burst.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Admission queue bound; arrivals beyond it are rejected.
+    /// Admission queue bound; arrivals beyond it are shed-or-rejected.
     pub queue_capacity: usize,
     /// Requests drained per solve cycle.
     pub batch_size: usize,
@@ -58,6 +75,20 @@ pub struct ServeConfig {
     pub cycle_tick_pool: Option<f64>,
     /// Modeled ticks to answer a warm or coalesced request.
     pub hit_ticks: f64,
+    /// Optional per-tenant bound on queued requests; breaches reject only
+    /// the over-quota tenant ([`DecoError::QuotaExceeded`]).
+    pub tenant_quota: Option<usize>,
+    /// Retry policy for solves lost to worker crashes: backoff ticks are
+    /// `capped_backoff(base, cap, retry)` (the same shared helper
+    /// `deco_faults::recovery` uses) and are charged against the
+    /// request's remaining budget.
+    pub retry: RetryConfig,
+    /// Cumulative worker-crash strikes after which a content key is
+    /// quarantined: answered from the fallback chain, never dispatched to
+    /// workers again (until a calibration refresh clears the set). Kept
+    /// above `retry.max_attempts` by default so a single job escalates
+    /// before its key is quarantined.
+    pub quarantine_threshold: u32,
 }
 
 impl Default for ServeConfig {
@@ -70,8 +101,32 @@ impl Default for ServeConfig {
             budget: SearchBudget::unlimited(),
             cycle_tick_pool: None,
             hit_ticks: 0.0,
+            tenant_quota: None,
+            retry: RetryConfig::default(),
+            quarantine_threshold: 6,
         }
     }
+}
+
+/// A scheduled calibration swap: at the first cycle boundary at or after
+/// `at_tick`, the server atomically replaces its metadata store and bumps
+/// the catalog epoch. No cycle ever integrates plans from two epochs —
+/// the epoch-mix invariant test pins this.
+#[derive(Debug, Clone)]
+pub struct CalibrationRefresh {
+    pub at_tick: f64,
+    pub store: MetadataStore,
+}
+
+/// Environment for one serve run: the worker fault schedule plus any
+/// scheduled calibration refreshes. `Default` is the quiescent session —
+/// no faults, no refreshes — under which
+/// [`PlanServer::serve_trace_session`] is bit-identical to
+/// [`PlanServer::serve_trace`].
+#[derive(Debug, Clone, Default)]
+pub struct ServeSession {
+    pub faults: WorkerFaultPlan,
+    pub refreshes: Vec<CalibrationRefresh>,
 }
 
 /// Floor a deadline to its canonical bucket: multiples of
@@ -98,17 +153,53 @@ struct SolveJob {
     budget: SearchBudget,
 }
 
-/// How a batched request will be answered once solves complete.
-enum Classified {
-    Warm(Box<SupervisedPlan>),
-    Miss { first: bool },
+/// One solve a cycle is responsible for: a fresh miss (attempt 0) or a
+/// re-enqueued crash victim, plus every request waiting on its key.
+#[derive(Debug)]
+struct PendingSolve {
+    key: u64,
+    workflow: Workflow,
+    /// Canonical (bucket-floored) deadline.
+    deadline: f64,
+    percentile: f64,
+    budget: SearchBudget,
+    /// The budget component of the cache key (hint or config cap), kept
+    /// so the job can be re-keyed after a calibration refresh.
+    key_budget: Option<f64>,
+    /// Dispatches lost to worker crashes so far.
+    attempt: u32,
+    /// Earliest tick at which this job may be dispatched again.
+    not_before: f64,
+    /// Requests answered by this solve, in join order (the first is the
+    /// original requester).
+    waiters: Vec<QueuedRequest>,
 }
 
-/// The serving engine: a [`Deco`] instance, its plan cache, and policy.
+/// How one request will be answered at the end of a cycle.
+enum Answer {
+    Plan {
+        plan: Box<SupervisedPlan>,
+        source: PlanSource,
+    },
+    Reject {
+        reason: String,
+        /// Whether this answer still charges `hit_ticks` (a coalesced
+        /// waiter of a failed solve did queue behind the shared attempt).
+        charge_hit: bool,
+    },
+}
+
+/// The serving engine: a [`Deco`] instance, its plan cache, policy, and
+/// the fault-tolerance bookkeeping (per-key crash strikes + quarantine).
 pub struct PlanServer {
     pub deco: Deco,
     config: ServeConfig,
     cache: PlanCache,
+    /// Content keys answered from the fallback chain instead of workers.
+    quarantine: BTreeSet<u64>,
+    /// Cumulative worker-crash strikes per content key (reset on a
+    /// successful solve or a calibration refresh).
+    key_failures: BTreeMap<u64, u32>,
 }
 
 /// Tighter-of-both on every budget axis.
@@ -125,6 +216,42 @@ fn min_budget(a: &SearchBudget, b: &SearchBudget) -> SearchBudget {
     }
 }
 
+/// Answer a request from the degradation chain without touching the
+/// worker pool (quarantined keys, exhausted retries). Returns the answer
+/// plus its deterministic service-tick charge; `Err` from the chain
+/// becomes a `Reject` (counted as a solve failure by the caller).
+fn fallback_answer(
+    deco: &Deco,
+    workflow: &Workflow,
+    deadline: f64,
+    percentile: f64,
+    reason: &str,
+    source: PlanSource,
+    scratch: &mut EvalScratch,
+) -> (Answer, f64, bool) {
+    match plan_fallback_only(deco, workflow, deadline, percentile, reason, scratch) {
+        Ok(plan) => {
+            let spent = plan.provenance.budget_spent;
+            (
+                Answer::Plan {
+                    plan: Box::new(plan),
+                    source,
+                },
+                spent,
+                false,
+            )
+        }
+        Err(e) => (
+            Answer::Reject {
+                reason: e.to_string(),
+                charge_hit: false,
+            },
+            0.0,
+            true,
+        ),
+    }
+}
+
 impl PlanServer {
     pub fn new(deco: Deco, config: ServeConfig) -> Self {
         assert!(config.batch_size >= 1, "batch_size must be at least 1");
@@ -133,6 +260,8 @@ impl PlanServer {
             deco,
             config,
             cache,
+            quarantine: BTreeSet::new(),
+            key_failures: BTreeMap::new(),
         }
     }
 
@@ -142,6 +271,15 @@ impl PlanServer {
 
     pub fn cache_len(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Number of content keys currently quarantined.
+    pub fn quarantined_keys(&self) -> usize {
+        self.quarantine.len()
+    }
+
+    pub fn is_quarantined(&self, key: u64) -> bool {
+        self.quarantine.contains(&key)
     }
 
     /// The content key [`serve_trace`](Self::serve_trace) would derive for
@@ -156,6 +294,26 @@ impl PlanServer {
             req.percentile,
             req.budget_hint.or(self.config.budget.ticks),
         )
+    }
+
+    /// Atomically swap in freshly calibrated metadata between cycles. The
+    /// catalog epoch strictly increases (bumped past the old store's if
+    /// the new one's is not already ahead), stale cache entries are
+    /// reclaimed — they were already unreachable, every key embeds the
+    /// epoch — and the quarantine/strike books are cleared: a new
+    /// calibration is a new world, old offenders get a clean slate.
+    /// Returns `(new_epoch, purged_entries)`.
+    pub fn refresh_calibration(&mut self, store: MetadataStore) -> (u64, usize) {
+        let old = self.deco.store.catalog_epoch();
+        self.deco.store = store;
+        while self.deco.store.catalog_epoch() <= old {
+            self.deco.store.bump_catalog_epoch();
+        }
+        let epoch = self.deco.store.catalog_epoch();
+        let purged = self.cache.purge_stale(epoch);
+        self.quarantine.clear();
+        self.key_failures.clear();
+        (epoch, purged)
     }
 
     /// Structural validation before any key derivation or solving.
@@ -185,146 +343,448 @@ impl PlanServer {
         Ok(())
     }
 
-    /// Replay a recorded trace with `workers` solver threads, returning
-    /// the response stream in trace order plus the run's stats. The
-    /// response stream and stats are byte-identical for any `workers`.
+    /// Replay a recorded trace with `workers` solver threads under a
+    /// quiescent session (no faults, no refreshes), returning the
+    /// response stream in trace order plus the run's stats. The response
+    /// stream and stats are byte-identical for any `workers`.
     pub fn serve_trace(
         &mut self,
         trace: &ArrivalTrace,
         workers: usize,
     ) -> (Vec<PlanResponse>, ServeStats) {
+        self.serve_trace_session(trace, workers, &ServeSession::default())
+    }
+
+    /// Replay a recorded trace under an explicit [`ServeSession`]: a
+    /// seeded [`WorkerFaultPlan`] plus scheduled [`CalibrationRefresh`]es.
+    /// Identical `(trace, session)` inputs produce byte-identical
+    /// response streams and stats at any worker count; a default session
+    /// is bit-identical to [`serve_trace`](Self::serve_trace).
+    pub fn serve_trace_session(
+        &mut self,
+        trace: &ArrivalTrace,
+        workers: usize,
+        session: &ServeSession,
+    ) -> (Vec<PlanResponse>, ServeStats) {
         assert!(workers >= 1, "the pool needs at least one worker");
         let mut stats = ServeStats::default();
-        let epoch = self.deco.store.catalog_epoch();
-        stats.stale_purged += self.cache.purge_stale(epoch) as u64;
+        stats.stale_purged += self.cache.purge_stale(self.deco.store.catalog_epoch()) as u64;
+
+        let mut refreshes: Vec<CalibrationRefresh> = session.refreshes.clone();
+        refreshes.sort_by(|a, b| a.at_tick.total_cmp(&b.at_tick));
+        let mut refresh_next = 0usize;
 
         let mut responses: Vec<PlanResponse> = Vec::with_capacity(trace.len());
         let mut queue = AdmissionQueue::new(self.config.queue_capacity);
+        if let Some(quota) = self.config.tenant_quota {
+            queue = queue.with_tenant_quota(quota);
+        }
+        let mut retries: Vec<PendingSolve> = Vec::new();
         let arrivals = trace.arrivals();
         let mut next = 0usize;
         let mut now = 0.0f64;
+        let mut shed_pending = 0u64;
 
-        while next < arrivals.len() || !queue.is_empty() {
-            // An idle server sleeps until the next recorded arrival.
-            if queue.is_empty() && arrivals[next].at_tick > now {
-                now = arrivals[next].at_tick;
+        while next < arrivals.len() || !queue.is_empty() || !retries.is_empty() {
+            // An idle server sleeps until the next recorded arrival or the
+            // earliest retry's backoff expiry, whichever comes first.
+            if queue.is_empty() && !retries.iter().any(|j| j.not_before <= now) {
+                let wake_arrival = arrivals
+                    .get(next)
+                    .map(|a| a.at_tick)
+                    .unwrap_or(f64::INFINITY);
+                let wake_retry = retries
+                    .iter()
+                    .map(|j| j.not_before)
+                    .fold(f64::INFINITY, f64::min);
+                let wake = wake_arrival.min(wake_retry);
+                if wake.is_finite() && wake > now {
+                    now = wake;
+                }
             }
-            // Admit everything that has arrived by now; answer overflow
-            // immediately with backpressure.
+
+            // Apply due calibration refreshes strictly between cycles,
+            // re-keying pending retries into the new epoch.
+            while refresh_next < refreshes.len() && refreshes[refresh_next].at_tick <= now {
+                let refresh = refreshes[refresh_next].clone();
+                refresh_next += 1;
+                let (_, purged) = self.refresh_calibration(refresh.store);
+                stats.refreshes += 1;
+                stats.stale_purged += purged as u64;
+                for job in retries.iter_mut() {
+                    job.key = plan_key(
+                        &job.workflow,
+                        &self.deco.store,
+                        &self.deco.options,
+                        job.deadline,
+                        job.percentile,
+                        job.key_budget,
+                    );
+                }
+            }
+
+            // Admit everything that has arrived by now. Quota breaches
+            // reject the offending tenant only; a full queue first tries
+            // to shed a waiter whose deadline is already unmeetable, and
+            // rejects the newcomer only when every waiter is still
+            // viable.
             while next < arrivals.len() && arrivals[next].at_tick <= now {
                 let Arrival { at_tick, request } = arrivals[next].clone();
                 let seq = next as u64;
                 let tenant = request.tenant;
-                if let Err(e) = queue.try_admit(seq, at_tick, request) {
-                    stats.rejected_overload += 1;
-                    responses.push(PlanResponse {
-                        seq,
-                        tenant,
-                        key: 0,
-                        outcome: ServeOutcome::Rejected {
-                            reason: e.to_string(),
-                        },
-                    });
-                }
                 next += 1;
+                match queue.try_admit(seq, at_tick, request.clone()) {
+                    Ok(()) => {}
+                    Err(e @ DecoError::QuotaExceeded { .. }) => {
+                        stats.rejected_quota += 1;
+                        responses.push(PlanResponse {
+                            seq,
+                            tenant,
+                            key: 0,
+                            outcome: ServeOutcome::Rejected {
+                                reason: e.to_string(),
+                            },
+                        });
+                    }
+                    Err(e) => {
+                        // Conservative shed estimate: a waiter is doomed
+                        // only once its canonical deadline has *already*
+                        // expired in queue. (The queue API accepts a
+                        // service estimate for sharper policies; zero
+                        // never sheds a request that could still be
+                        // answered instantly, so viable work is never
+                        // sacrificed to a forecast.)
+                        let shed = queue.shed_unmeetable(now, self.config.deadline_bucket, 0.0);
+                        match shed {
+                            Some(victim) => {
+                                stats.shed += 1;
+                                shed_pending += 1;
+                                let cd = canonical_deadline(
+                                    victim.request.deadline,
+                                    self.config.deadline_bucket,
+                                );
+                                responses.push(PlanResponse {
+                                    seq: victim.seq,
+                                    tenant: victim.request.tenant,
+                                    key: 0,
+                                    outcome: ServeOutcome::Shed {
+                                        reason: format!(
+                                            "canonical deadline {cd} already unmeetable \
+                                             at queue overflow"
+                                        ),
+                                    },
+                                });
+                                if let Err(e2) = queue.try_admit(seq, at_tick, request) {
+                                    stats.rejected_overload += 1;
+                                    responses.push(PlanResponse {
+                                        seq,
+                                        tenant,
+                                        key: 0,
+                                        outcome: ServeOutcome::Rejected {
+                                            reason: e2.to_string(),
+                                        },
+                                    });
+                                }
+                            }
+                            None => {
+                                stats.rejected_overload += 1;
+                                responses.push(PlanResponse {
+                                    seq,
+                                    tenant,
+                                    key: 0,
+                                    outcome: ServeOutcome::Rejected {
+                                        reason: e.to_string(),
+                                    },
+                                });
+                            }
+                        }
+                    }
+                }
             }
 
             let batch = queue.drain_batch(self.config.batch_size);
-            if batch.is_empty() {
+            let (ready, waiting): (Vec<PendingSolve>, Vec<PendingSolve>) =
+                retries.drain(..).partition(|j| j.not_before <= now);
+            retries = waiting;
+            if batch.is_empty() && ready.is_empty() {
                 continue;
             }
+            let cycle = stats.cycles;
             stats.cycles += 1;
+            // The whole cycle integrates against one epoch, read once
+            // here; refreshes only land between cycles (above).
+            let epoch = self.deco.store.catalog_epoch();
             let cycle_start = now;
             now += self.run_cycle(
                 batch,
+                ready,
+                cycle,
                 cycle_start,
                 epoch,
                 workers,
+                &session.faults,
+                &mut retries,
+                shed_pending,
                 &mut stats,
                 &mut responses,
             );
+            shed_pending = 0;
         }
 
         responses.sort_by_key(|r| r.seq);
         (responses, stats)
     }
+}
 
-    /// Classify, solve, and answer one batch; returns the cycle's
-    /// deterministic service ticks.
+impl PlanServer {
+    /// Classify, solve, and answer one batch (plus any retry jobs whose
+    /// backoff expired); returns the cycle's deterministic service ticks.
+    #[allow(clippy::too_many_arguments)]
     fn run_cycle(
         &mut self,
         batch: Vec<QueuedRequest>,
+        ready: Vec<PendingSolve>,
+        cycle: u64,
         cycle_start: f64,
         epoch: u64,
         workers: usize,
+        faults: &WorkerFaultPlan,
+        retries: &mut Vec<PendingSolve>,
+        shed_this_round: u64,
         stats: &mut ServeStats,
         responses: &mut Vec<PlanResponse>,
     ) -> f64 {
-        // Classification pass, in sequence order (which also fixes the
-        // cache's LRU refresh order).
-        let mut classified: Vec<(QueuedRequest, u64, f64, Result<Classified, DecoError>)> =
-            Vec::with_capacity(batch.len());
-        let mut jobs: Vec<SolveJob> = Vec::new();
-        let mut job_tenants = Vec::new();
-        let mut seen_keys: BTreeSet<u64> = BTreeSet::new();
+        let mut scratch = EvalScratch::new();
+        let mut service = 0.0f64;
+        let mut row = CycleRow {
+            cycle,
+            start_tick: cycle_start,
+            epoch,
+            batch: batch.len() as u64,
+            dispatched: 0,
+            hits: 0,
+            coalesced: 0,
+            crashes: 0,
+            retried: 0,
+            escalated: 0,
+            quarantined: 0,
+            straggler_ticks: 0.0,
+            shed: shed_this_round,
+        };
+
+        // This cycle's solves, keyed canonically: retry jobs whose
+        // backoff expired, then fresh misses from the batch.
+        let mut jobs: BTreeMap<u64, PendingSolve> = ready.into_iter().map(|j| (j.key, j)).collect();
+        let mut fresh_order: Vec<u64> = Vec::new();
+        // (request, key, canonical deadline, answer), assembled across
+        // the cycle and emitted in seq order at the end.
+        let mut answers: Vec<(QueuedRequest, u64, f64, Answer)> = Vec::new();
+
+        // Classification pass, in drain (priority, then seq) order —
+        // which also fixes the cache's LRU refresh order.
         for qr in batch {
             stats.requests += 1;
             if let Err(e) = Self::validate(&qr.request) {
                 stats.rejected_invalid += 1;
-                classified.push((qr, 0, 0.0, Err(e)));
+                answers.push((
+                    qr,
+                    0,
+                    0.0,
+                    Answer::Reject {
+                        reason: e.to_string(),
+                        charge_hit: false,
+                    },
+                ));
                 continue;
             }
             let cd = canonical_deadline(qr.request.deadline, self.config.deadline_bucket);
+            let key_budget = qr.request.budget_hint.or(self.config.budget.ticks);
             let key = plan_key(
                 &qr.request.workflow,
                 &self.deco.store,
                 &self.deco.options,
                 cd,
                 qr.request.percentile,
-                qr.request.budget_hint.or(self.config.budget.ticks),
+                key_budget,
             );
-            let class = if let Some(plan) = self.cache.get(key) {
-                Classified::Warm(Box::new(plan.clone()))
-            } else if !seen_keys.insert(key) {
-                Classified::Miss { first: false }
-            } else {
-                jobs.push(SolveJob {
+            if let Some(plan) = self.cache.get(key) {
+                answers.push((
+                    qr,
+                    key,
+                    cd,
+                    Answer::Plan {
+                        plan: Box::new(plan.clone()),
+                        source: PlanSource::Warm,
+                    },
+                ));
+                continue;
+            }
+            if self.quarantine.contains(&key) {
+                let strikes = self
+                    .key_failures
+                    .get(&key)
+                    .copied()
+                    .unwrap_or(self.config.quarantine_threshold);
+                let reason = format!("content key quarantined after {strikes} worker crashes");
+                let (answer, spent, failed) = fallback_answer(
+                    &self.deco,
+                    &qr.request.workflow,
+                    cd,
+                    qr.request.percentile,
+                    &reason,
+                    PlanSource::Quarantined,
+                    &mut scratch,
+                );
+                service += spent;
+                stats.solve_failures += u64::from(failed);
+                answers.push((qr, key, cd, answer));
+                continue;
+            }
+            if let Some(job) = jobs.get_mut(&key) {
+                // Coalesce onto this cycle's solve for the same key
+                // (a fresh sibling or a retry being redispatched now).
+                job.waiters.push(qr);
+                continue;
+            }
+            if let Some(job) = retries.iter_mut().find(|j| j.key == key) {
+                // The key is backing off after a crash: join its waiters
+                // instead of racing a duplicate solve.
+                job.waiters.push(qr);
+                continue;
+            }
+            fresh_order.push(key);
+            jobs.insert(
+                key,
+                PendingSolve {
                     key,
                     workflow: qr.request.workflow.clone(),
                     deadline: cd,
                     percentile: qr.request.percentile,
                     budget: SearchBudget::unlimited(), // budgeted below
-                });
-                job_tenants.push(qr.request.tenant);
-                Classified::Miss { first: true }
-            };
-            classified.push((qr, key, cd, Ok(class)));
+                    key_budget,
+                    attempt: 0,
+                    not_before: cycle_start,
+                    waiters: vec![qr],
+                },
+            );
         }
 
-        // Fair-share the cycle pool across the miss jobs' tenants, then
-        // clamp by the per-request cap and each request's hint.
-        let shares = fair_share_budgets(self.config.cycle_tick_pool, &job_tenants);
-        let hints: BTreeMap<u64, Option<f64>> = classified
+        // Fair-share the cycle pool across the fresh misses' tenants,
+        // then clamp by the per-request cap and each request's hint.
+        // Retry jobs keep their original (backoff-decremented) budgets.
+        let tenants: Vec<TenantId> = fresh_order
             .iter()
-            .filter(|(_, _, _, c)| matches!(c, Ok(Classified::Miss { first: true })))
-            .map(|(qr, key, _, _)| (*key, qr.request.budget_hint))
+            .map(|k| jobs[k].waiters[0].request.tenant)
             .collect();
-        for (job, share) in jobs.iter_mut().zip(shares) {
+        let shares = fair_share_budgets(self.config.cycle_tick_pool, &tenants);
+        for (key, share) in fresh_order.iter().zip(shares) {
+            let job = jobs.get_mut(key).expect("fresh keys were just inserted");
             let capped = min_budget(&self.config.budget, &share);
-            job.budget = effective_budget(&capped, hints.get(&job.key).copied().flatten());
+            job.budget = effective_budget(&capped, job.waiters[0].request.budget_hint);
         }
 
-        let solved = self.solve_jobs(jobs, workers);
+        // Draw worker fates by canonical job rank: rank -> virtual worker
+        // -> fate, independent of the physical pool size.
+        let crashed_keys: Vec<u64> = jobs
+            .iter()
+            .enumerate()
+            .filter_map(
+                |(rank, (&key, _))| match faults.fate(cycle, faults.assign(rank)) {
+                    WorkerFate::Crash => Some(key),
+                    WorkerFate::Straggler(delay) => {
+                        service += delay;
+                        row.straggler_ticks += delay;
+                        stats.straggler_ticks += delay;
+                        None
+                    }
+                    WorkerFate::Healthy => None,
+                },
+            )
+            .collect();
+
+        // Crashed solves: strike the key, then quarantine, escalate, or
+        // re-enqueue with capped backoff charged against the budget.
+        for key in crashed_keys {
+            let mut job = jobs
+                .remove(&key)
+                .expect("crashed keys come from the job map");
+            row.crashes += 1;
+            stats.worker_crashes += 1;
+            // The lost attempt burned its budget on a dead worker.
+            service += job.budget.ticks.unwrap_or(0.0);
+            job.attempt += 1;
+            let strikes = {
+                let s = self.key_failures.entry(key).or_insert(0);
+                *s += 1;
+                *s
+            };
+            if strikes >= self.config.quarantine_threshold {
+                self.quarantine.insert(key);
+                let reason = format!("content key quarantined after {strikes} worker crashes");
+                for qr in job.waiters {
+                    let (answer, spent, failed) = fallback_answer(
+                        &self.deco,
+                        &job.workflow,
+                        job.deadline,
+                        job.percentile,
+                        &reason,
+                        PlanSource::Quarantined,
+                        &mut scratch,
+                    );
+                    service += spent;
+                    stats.solve_failures += u64::from(failed);
+                    answers.push((qr, key, job.deadline, answer));
+                }
+            } else if job.attempt >= self.config.retry.max_attempts {
+                stats.escalated += 1;
+                row.escalated += 1;
+                let reason = format!("retries exhausted after {} worker crashes", job.attempt);
+                for qr in job.waiters {
+                    let (answer, spent, failed) = fallback_answer(
+                        &self.deco,
+                        &job.workflow,
+                        job.deadline,
+                        job.percentile,
+                        &reason,
+                        PlanSource::Retried,
+                        &mut scratch,
+                    );
+                    service += spent;
+                    stats.solve_failures += u64::from(failed);
+                    answers.push((qr, key, job.deadline, answer));
+                }
+            } else {
+                stats.retries += 1;
+                let backoff = self.config.retry.backoff(job.attempt);
+                job.not_before = cycle_start + backoff;
+                job.budget = job.budget.minus_ticks(backoff);
+                retries.push(job);
+            }
+        }
+
+        // Dispatch the surviving jobs to the physical pool.
+        let dispatch: Vec<SolveJob> = jobs
+            .values()
+            .map(|job| SolveJob {
+                key: job.key,
+                workflow: job.workflow.clone(),
+                deadline: job.deadline,
+                percentile: job.percentile,
+                budget: job.budget.clone(),
+            })
+            .collect();
+        row.dispatched = dispatch.len() as u64;
+        let solved = self.solve_jobs(dispatch, workers);
 
         // Integrate in canonical key order: cache updates (and therefore
         // eviction order and LRU clocks) are independent of which worker
         // finished first.
-        let mut service = 0.0f64;
         for (key, (budget, result)) in &solved {
             match result {
                 Ok(plan) => {
                     service += plan.provenance.budget_spent;
                     stats.evictions += self.cache.insert(*key, plan.clone(), epoch) as u64;
+                    self.key_failures.remove(key);
                 }
                 Err(_) => {
                     stats.solve_failures += 1;
@@ -333,78 +793,120 @@ impl PlanServer {
             }
         }
 
-        // Answer in sequence order.
-        for (qr, key, cd, class) in classified {
-            match class {
-                Err(e) => responses.push(PlanResponse {
-                    seq: qr.seq,
-                    tenant: qr.request.tenant,
-                    key,
-                    outcome: ServeOutcome::Rejected {
-                        reason: e.to_string(),
-                    },
-                }),
-                Ok(class) => {
-                    let (source, outcome) = match class {
-                        Classified::Warm(plan) => {
-                            service += self.config.hit_ticks;
-                            (Some(PlanSource::Warm), Ok(plan))
-                        }
-                        Classified::Miss { first } => {
-                            let source = if first {
+        // Attach each job's waiters to its result, key order.
+        for (key, job) in jobs {
+            let (_, result) = solved
+                .get(&key)
+                .expect("every dispatched key has a solve result");
+            match result {
+                Ok(plan) => {
+                    if job.attempt == 0 {
+                        for (i, qr) in job.waiters.into_iter().enumerate() {
+                            let source = if i == 0 {
                                 PlanSource::Cold
                             } else {
-                                service += self.config.hit_ticks;
                                 PlanSource::Coalesced
                             };
-                            match &solved
-                                .get(&key)
-                                .expect("every miss key has a solve result")
-                                .1
-                            {
-                                Ok(plan) => (Some(source), Ok(Box::new(plan.clone()))),
-                                Err(e) => (None, Err(e.to_string())),
-                            }
-                        }
-                    };
-                    match (source, outcome) {
-                        (Some(source), Ok(plan)) => {
-                            match source {
-                                PlanSource::Warm => stats.hits += 1,
-                                PlanSource::Cold => stats.misses += 1,
-                                PlanSource::Coalesced => stats.coalesced += 1,
-                            }
-                            match plan.provenance.stage {
-                                PlanStage::Deco => stats.stage_deco += 1,
-                                PlanStage::Heuristic => stats.stage_heuristic += 1,
-                                PlanStage::Autoscaling => stats.stage_autoscaling += 1,
-                            }
-                            stats.planned += 1;
-                            let wait = cycle_start - qr.arrived_at;
-                            stats.waits.push(wait);
-                            responses.push(PlanResponse {
-                                seq: qr.seq,
-                                tenant: qr.request.tenant,
+                            answers.push((
+                                qr,
                                 key,
-                                outcome: ServeOutcome::Planned(Box::new(ServedPlan {
-                                    plan: *plan,
+                                job.deadline,
+                                Answer::Plan {
+                                    plan: Box::new(plan.clone()),
                                     source,
-                                    wait_ticks: wait,
-                                    canonical_deadline: cd,
-                                })),
-                            });
+                                },
+                            ));
                         }
-                        (_, Err(reason)) => responses.push(PlanResponse {
-                            seq: qr.seq,
-                            tenant: qr.request.tenant,
+                    } else {
+                        row.retried += 1;
+                        for qr in job.waiters {
+                            answers.push((
+                                qr,
+                                key,
+                                job.deadline,
+                                Answer::Plan {
+                                    plan: Box::new(plan.clone()),
+                                    source: PlanSource::Retried,
+                                },
+                            ));
+                        }
+                    }
+                }
+                Err(e) => {
+                    for (i, qr) in job.waiters.into_iter().enumerate() {
+                        answers.push((
+                            qr,
                             key,
-                            outcome: ServeOutcome::Rejected { reason },
-                        }),
-                        (None, Ok(_)) => unreachable!("failed solves carry Err"),
+                            job.deadline,
+                            Answer::Reject {
+                                reason: e.to_string(),
+                                charge_hit: i > 0 && job.attempt == 0,
+                            },
+                        ));
                     }
                 }
             }
         }
+
+        // Answer in sequence order (hit ticks are charged here so the
+        // service sum's float-addition order matches the pre-fault
+        // server exactly on quiescent runs).
+        answers.sort_by_key(|(qr, ..)| qr.seq);
+        for (qr, key, cd, answer) in answers {
+            match answer {
+                Answer::Plan { plan, source } => {
+                    match source {
+                        PlanSource::Warm => {
+                            service += self.config.hit_ticks;
+                            stats.hits += 1;
+                            row.hits += 1;
+                        }
+                        PlanSource::Cold => stats.misses += 1,
+                        PlanSource::Coalesced => {
+                            service += self.config.hit_ticks;
+                            stats.coalesced += 1;
+                            row.coalesced += 1;
+                        }
+                        PlanSource::Retried => {}
+                        PlanSource::Quarantined => {
+                            stats.quarantined += 1;
+                            row.quarantined += 1;
+                        }
+                    }
+                    match plan.provenance.stage {
+                        PlanStage::Deco => stats.stage_deco += 1,
+                        PlanStage::Heuristic => stats.stage_heuristic += 1,
+                        PlanStage::Autoscaling => stats.stage_autoscaling += 1,
+                    }
+                    stats.planned += 1;
+                    let wait = cycle_start - qr.arrived_at;
+                    stats.waits.push(wait);
+                    responses.push(PlanResponse {
+                        seq: qr.seq,
+                        tenant: qr.request.tenant,
+                        key,
+                        outcome: ServeOutcome::Planned(Box::new(ServedPlan {
+                            plan: *plan,
+                            source,
+                            wait_ticks: wait,
+                            canonical_deadline: cd,
+                        })),
+                    });
+                }
+                Answer::Reject { reason, charge_hit } => {
+                    if charge_hit {
+                        service += self.config.hit_ticks;
+                    }
+                    responses.push(PlanResponse {
+                        seq: qr.seq,
+                        tenant: qr.request.tenant,
+                        key,
+                        outcome: ServeOutcome::Rejected { reason },
+                    });
+                }
+            }
+        }
+        stats.cycle_rows.push(row);
         service
     }
 
@@ -467,7 +969,7 @@ impl PlanServer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::request::PlanRequest;
+    use crate::request::{PlanRequest, Priority};
     use deco_cloud::{CloudSpec, MetadataStore};
     use deco_core::estimate::deadline_anchors;
     use deco_workflow::generators;
@@ -491,6 +993,7 @@ mod tests {
             deadline: 0.5 * (dmin + dmax),
             percentile: 0.9,
             budget_hint: None,
+            priority: Priority::default(),
         }
     }
 
@@ -571,6 +1074,7 @@ mod tests {
             .collect();
         let (responses, stats) = server.serve_trace(&ArrivalTrace::new(arrivals), 1);
         assert_eq!(stats.rejected_overload, 2);
+        assert_eq!(stats.shed, 0, "fresh deadlines are never shed");
         assert_eq!(stats.planned, 2);
         let rejected: Vec<_> = responses
             .iter()
@@ -592,6 +1096,7 @@ mod tests {
             deadline: 100.0,
             percentile: 0.9,
             budget_hint: None,
+            priority: Priority::default(),
         };
         let trace = ArrivalTrace::new(vec![
             Arrival {
@@ -645,5 +1150,128 @@ mod tests {
             stats.waits
         );
         assert_eq!(stats.cycles, 2);
+    }
+
+    #[test]
+    fn tenant_quota_rejections_are_typed_and_counted() {
+        let config = ServeConfig {
+            tenant_quota: Some(1),
+            batch_size: 4,
+            ..ServeConfig::default()
+        };
+        let mut server = PlanServer::new(small_deco(), config);
+        let trace = ArrivalTrace::new(vec![
+            Arrival {
+                at_tick: 0.0,
+                request: request(1, 7),
+            },
+            Arrival {
+                at_tick: 0.0,
+                request: request(1, 11), // tenant 1 again: over quota
+            },
+            Arrival {
+                at_tick: 0.0,
+                request: request(2, 13), // tenant 2: admitted
+            },
+        ]);
+        let (responses, stats) = server.serve_trace(&trace, 1);
+        assert_eq!(stats.rejected_quota, 1);
+        assert_eq!(stats.rejected_overload, 0);
+        assert_eq!(stats.planned, 2);
+        assert!(responses[1]
+            .canonical_line()
+            .contains("quota exceeded: tenant 1"));
+    }
+
+    #[test]
+    fn certain_crashes_escalate_to_the_fallback_chain() {
+        // Every (vworker, cycle) crashes: the solve loses max_attempts
+        // dispatches, then escalates inline — the request still gets a
+        // terminal planned response, provenance says why.
+        let config = ServeConfig {
+            retry: RetryConfig {
+                max_attempts: 2,
+                backoff_base: 10.0,
+                backoff_cap: 40.0,
+            },
+            quarantine_threshold: 99,
+            ..ServeConfig::default()
+        };
+        let mut server = PlanServer::new(small_deco(), config);
+        let trace = ArrivalTrace::new(vec![Arrival {
+            at_tick: 0.0,
+            request: request(1, 7),
+        }]);
+        let session = ServeSession {
+            faults: WorkerFaultPlan::crashes(42, 1.0),
+            refreshes: Vec::new(),
+        };
+        let (responses, stats) = server.serve_trace_session(&trace, 1, &session);
+        assert_eq!(responses.len(), 1);
+        assert_eq!(stats.worker_crashes, 2);
+        assert_eq!(stats.retries, 1, "one re-enqueue before escalation");
+        assert_eq!(stats.escalated, 1);
+        let line = responses[0].canonical_line();
+        assert!(line.contains("source=retried"), "{line}");
+        assert!(
+            !line.contains("stage=deco"),
+            "escalation skips the deco stage: {line}"
+        );
+        assert_eq!(server.cache_len(), 0, "escalated answers are never cached");
+        assert!(matches!(responses[0].outcome, ServeOutcome::Planned(_)));
+    }
+
+    #[test]
+    fn repeat_offender_keys_are_quarantined_and_answered_from_fallback() {
+        let config = ServeConfig {
+            quarantine_threshold: 1, // first crash quarantines
+            ..ServeConfig::default()
+        };
+        let mut server = PlanServer::new(small_deco(), config);
+        let trace = ArrivalTrace::new(vec![
+            Arrival {
+                at_tick: 0.0,
+                request: request(1, 7),
+            },
+            Arrival {
+                at_tick: 1e9,
+                request: request(2, 7), // same key, much later
+            },
+        ]);
+        let session = ServeSession {
+            faults: WorkerFaultPlan::crashes(42, 1.0),
+            refreshes: Vec::new(),
+        };
+        let (responses, stats) = server.serve_trace_session(&trace, 1, &session);
+        assert_eq!(stats.quarantined, 2, "both answered from quarantine");
+        assert_eq!(server.quarantined_keys(), 1);
+        assert!(server.is_quarantined(server.key_for(&request(1, 7))));
+        assert_eq!(server.cache_len(), 0, "quarantined keys never cached");
+        for r in &responses {
+            let line = r.canonical_line();
+            assert!(line.contains("source=quarantined"), "{line}");
+        }
+    }
+
+    #[test]
+    fn refresh_calibration_strictly_increases_the_epoch_and_clears_books() {
+        let mut server = PlanServer::new(small_deco(), ServeConfig::default());
+        let before = server.deco.store.catalog_epoch();
+        // Swap in a same-epoch store: the server must bump past it.
+        let (epoch, _) = server.refresh_calibration(MetadataStore::from_ground_truth(
+            CloudSpec::amazon_ec2(),
+            20,
+        ));
+        assert!(epoch > before, "epoch must strictly increase");
+        // Quarantine books are cleared by a refresh.
+        server.quarantine.insert(77);
+        server.key_failures.insert(77, 3);
+        let (epoch2, _) = server.refresh_calibration(MetadataStore::from_ground_truth(
+            CloudSpec::amazon_ec2(),
+            20,
+        ));
+        assert!(epoch2 > epoch);
+        assert_eq!(server.quarantined_keys(), 0);
+        assert!(server.key_failures.is_empty());
     }
 }

@@ -1,12 +1,78 @@
-//! Serving counters and queue-wait percentiles.
+//! Serving counters, queue-wait percentiles, and per-cycle rows.
 //!
 //! Everything here is measured in deterministic quantities — request
 //! counts and device-model ticks — so two runs of the same trace produce
 //! *equal* `ServeStats` regardless of how many worker threads raced to
 //! produce them. The interleaving tests assert exactly that.
+//!
+//! The canonical line is kept **byte-compatible with the pre-fault
+//! format** when a run is quiescent: the robustness counters (shed,
+//! crashes, retries, …) are appended only when at least one is nonzero,
+//! so a fault-free run digests to exactly what it did before the fault
+//! machinery existed. Per-cycle rows are observability output and are
+//! deliberately *excluded* from [`ServeStats::digest`].
 
 use deco_prob::hash::StableHasher;
 use std::hash::Hasher;
+
+/// One solve cycle's structured accounting, emitted in cycle order. Rows
+/// feed the `serve` experiment subcommand's on-disk trace; they do not
+/// participate in [`ServeStats::digest`] (the per-request response stream
+/// already pins every observable).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleRow {
+    /// Cycle index, from 0.
+    pub cycle: u64,
+    /// Model tick at which the cycle started.
+    pub start_tick: f64,
+    /// Catalog epoch the whole cycle integrated against.
+    pub epoch: u64,
+    /// Requests drained into this cycle's batch.
+    pub batch: u64,
+    /// Cold solves dispatched.
+    pub dispatched: u64,
+    /// Warm (cache-hit) answers.
+    pub hits: u64,
+    /// Coalesced answers.
+    pub coalesced: u64,
+    /// Solves lost to injected worker crashes this cycle.
+    pub crashes: u64,
+    /// Jobs answered after one or more retries this cycle.
+    pub retried: u64,
+    /// Jobs escalated to the fallback chain (retries exhausted).
+    pub escalated: u64,
+    /// Jobs answered from quarantine this cycle.
+    pub quarantined: u64,
+    /// Extra straggler ticks charged to this cycle's solves.
+    pub straggler_ticks: f64,
+    /// Requests shed from the queue while this cycle was admitting.
+    pub shed: u64,
+}
+
+impl CycleRow {
+    /// One-line JSON rendering (stable field order, floats as decimals)
+    /// for the experiments trace file.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"cycle\":{},\"start_tick\":{},\"epoch\":{},\"batch\":{},\"dispatched\":{},\
+             \"hits\":{},\"coalesced\":{},\"crashes\":{},\"retried\":{},\"escalated\":{},\
+             \"quarantined\":{},\"straggler_ticks\":{},\"shed\":{}}}",
+            self.cycle,
+            self.start_tick,
+            self.epoch,
+            self.batch,
+            self.dispatched,
+            self.hits,
+            self.coalesced,
+            self.crashes,
+            self.retried,
+            self.escalated,
+            self.quarantined,
+            self.straggler_ticks,
+            self.shed,
+        )
+    }
+}
 
 /// Counters for one [`crate::server::PlanServer::serve_trace`] run.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -25,6 +91,8 @@ pub struct ServeStats {
     pub rejected_overload: u64,
     /// Requests refused for structural invalidity.
     pub rejected_invalid: u64,
+    /// Requests refused by a per-tenant quota breach.
+    pub rejected_quota: u64,
     /// Cold solves where even the fallback chain failed.
     pub solve_failures: u64,
     /// Cache entries evicted by LRU pressure.
@@ -39,9 +107,26 @@ pub struct ServeStats {
     pub stage_heuristic: u64,
     /// Plans produced by the autoscaling backstop stage.
     pub stage_autoscaling: u64,
+    /// Admitted requests dropped by the deadline-aware shed policy.
+    pub shed: u64,
+    /// (virtual worker, cycle) crash fates that actually lost jobs.
+    pub worker_crashes: u64,
+    /// Re-enqueues of crashed solves (one per lost attempt).
+    pub retries: u64,
+    /// Jobs escalated to the fallback chain after exhausting retries.
+    pub escalated: u64,
+    /// Requests answered from the quarantine path.
+    pub quarantined: u64,
+    /// Calibration refreshes applied between cycles.
+    pub refreshes: u64,
+    /// Total extra straggler ticks charged across the run.
+    pub straggler_ticks: f64,
     /// Per-planned-request queueing delay (admission → cycle start), in
     /// model ticks; kept in response (seq) order.
     pub waits: Vec<f64>,
+    /// Per-cycle structured rows, in cycle order. Observability only:
+    /// excluded from [`ServeStats::digest`] and equality of digests.
+    pub cycle_rows: Vec<CycleRow>,
 }
 
 /// Nearest-rank percentile (p in \[0, 1\]) over an unsorted slice.
@@ -76,10 +161,25 @@ impl ServeStats {
         }
     }
 
+    /// True when none of the robustness counters fired — the run behaved
+    /// exactly like a pre-fault server and must digest identically to one.
+    fn robustness_quiet(&self) -> bool {
+        self.rejected_quota == 0
+            && self.shed == 0
+            && self.worker_crashes == 0
+            && self.retries == 0
+            && self.escalated == 0
+            && self.quarantined == 0
+            && self.refreshes == 0
+            && self.straggler_ticks == 0.0
+    }
+
     /// Canonical single-line rendering (floats as raw bits) for
-    /// byte-comparison across worker counts.
+    /// byte-comparison across worker counts. Robustness counters are
+    /// appended only when at least one fired, keeping quiescent runs
+    /// byte-identical to the pre-fault format.
     pub fn canonical_line(&self) -> String {
-        format!(
+        let mut line = format!(
             "requests={} planned={} hits={} misses={} coalesced={} \
              rej_overload={} rej_invalid={} solve_failures={} evictions={} \
              stale_purged={} cycles={} deco={} heuristic={} autoscaling={} \
@@ -100,10 +200,27 @@ impl ServeStats {
             self.stage_autoscaling,
             self.p50_wait().to_bits(),
             self.p95_wait().to_bits(),
-        )
+        );
+        if !self.robustness_quiet() {
+            line.push_str(&format!(
+                " rej_quota={} shed={} crashes={} retries={} escalated={} \
+                 quarantined={} refreshes={} straggler_ticks={:016x}",
+                self.rejected_quota,
+                self.shed,
+                self.worker_crashes,
+                self.retries,
+                self.escalated,
+                self.quarantined,
+                self.refreshes,
+                self.straggler_ticks.to_bits(),
+            ));
+        }
+        line
     }
 
     /// Stable digest of the canonical line plus every recorded wait.
+    /// Cycle rows are excluded on purpose: they are observability output,
+    /// and the response stream already pins everything observable.
     pub fn digest(&self) -> u64 {
         let mut h = StableHasher::with_seed(0x57A7);
         h.write(self.canonical_line().as_bytes());
@@ -152,5 +269,88 @@ mod tests {
         assert_eq!(a.digest(), b.digest());
         b.waits[0] = 1.5; // p50/p95 unchanged, digest must still move
         assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn quiescent_lines_keep_the_pre_fault_byte_format() {
+        let stats = ServeStats {
+            requests: 3,
+            planned: 3,
+            misses: 3,
+            cycles: 1,
+            stage_deco: 3,
+            ..ServeStats::default()
+        };
+        let line = stats.canonical_line();
+        assert!(
+            !line.contains("shed=") && !line.contains("crashes="),
+            "quiescent runs must not grow new fields: {line}"
+        );
+        assert!(line.starts_with("requests=3 planned=3"));
+    }
+
+    #[test]
+    fn robustness_counters_appear_once_any_fires() {
+        let mut stats = ServeStats {
+            requests: 3,
+            ..ServeStats::default()
+        };
+        let quiet = stats.digest();
+        stats.shed = 1;
+        let line = stats.canonical_line();
+        assert!(line.contains("shed=1"), "missing shed counter: {line}");
+        assert!(line.contains("rej_quota=0"));
+        assert_ne!(stats.digest(), quiet, "a shed must move the digest");
+    }
+
+    #[test]
+    fn cycle_rows_do_not_affect_the_digest() {
+        let a = ServeStats {
+            requests: 5,
+            ..ServeStats::default()
+        };
+        let mut b = a.clone();
+        b.cycle_rows.push(CycleRow {
+            cycle: 0,
+            start_tick: 0.0,
+            epoch: 1,
+            batch: 5,
+            dispatched: 5,
+            hits: 0,
+            coalesced: 0,
+            crashes: 0,
+            retried: 0,
+            escalated: 0,
+            quarantined: 0,
+            straggler_ticks: 0.0,
+            shed: 0,
+        });
+        assert_eq!(a.digest(), b.digest());
+        assert_ne!(a, b, "rows still participate in equality");
+    }
+
+    #[test]
+    fn cycle_rows_render_stable_json() {
+        let row = CycleRow {
+            cycle: 2,
+            start_tick: 30.5,
+            epoch: 4,
+            batch: 8,
+            dispatched: 3,
+            hits: 4,
+            coalesced: 1,
+            crashes: 1,
+            retried: 1,
+            escalated: 0,
+            quarantined: 0,
+            straggler_ticks: 12.5,
+            shed: 0,
+        };
+        assert_eq!(
+            row.to_json(),
+            "{\"cycle\":2,\"start_tick\":30.5,\"epoch\":4,\"batch\":8,\"dispatched\":3,\
+             \"hits\":4,\"coalesced\":1,\"crashes\":1,\"retried\":1,\"escalated\":0,\
+             \"quarantined\":0,\"straggler_ticks\":12.5,\"shed\":0}"
+        );
     }
 }

@@ -20,8 +20,8 @@ use deco::engine::estimate::deadline_anchors;
 use deco::engine::supervisor::plan_with_fallback;
 use deco::engine::Deco;
 use deco::serve::{
-    canonical_deadline, Arrival, ArrivalTrace, PlanRequest, PlanServer, PlanSource, ServeConfig,
-    ServeOutcome, ServedPlan,
+    canonical_deadline, Arrival, ArrivalTrace, PlanRequest, PlanServer, PlanSource, Priority,
+    ServeConfig, ServeOutcome, ServedPlan,
 };
 use deco::solver::SearchBudget;
 use deco::workflow::generators;
@@ -45,6 +45,7 @@ fn request_for(wf: Workflow, tenant: u32, spec: &CloudSpec) -> PlanRequest {
         deadline: 0.5 * (dmin + dmax),
         percentile: 0.9,
         budget_hint: None,
+        priority: Priority::default(),
     }
 }
 
@@ -52,6 +53,7 @@ fn served(outcome: &ServeOutcome) -> &ServedPlan {
     match outcome {
         ServeOutcome::Planned(p) => p,
         ServeOutcome::Rejected { reason } => panic!("expected a plan, got: {reason}"),
+        ServeOutcome::Shed { reason } => panic!("expected a plan, got shed: {reason}"),
     }
 }
 
