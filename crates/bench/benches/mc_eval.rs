@@ -10,7 +10,8 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use deco_cloud::{CloudSpec, MetadataStore, Plan};
 use deco_core::estimate::{
-    mc_evaluate_plan_reference, mc_evaluate_plan_scratch, CompiledPlan, EvalScratch, ExecTimeTable,
+    mc_evaluate_plan_reference, mc_evaluate_plan_scratch, CompiledFrontier, CompiledPlan,
+    EvalScratch, ExecTimeTable, FrontierScratch, FrontierSkeleton,
 };
 use deco_workflow::generators;
 use deco_workflow::Workflow;
@@ -21,6 +22,25 @@ use std::time::{Duration, Instant};
 const MC_ITERS: usize = 200;
 const HIST_BINS: usize = 12;
 const SEED: u64 = 7;
+/// Frontier widths the batched evaluator is measured at.
+const FRONTIER_KS: [usize; 3] = [8, 32, 128];
+
+/// A synthetic beam frontier: K distinct type vectors over the same DAG,
+/// the shape `beam_search` hands to `evaluate_frontier`.
+fn beam_plans(wf: &Workflow, spec: &CloudSpec, k: usize) -> Vec<Plan> {
+    (0..k)
+        .map(|i| {
+            let types: Vec<usize> = (0..wf.len()).map(|j| 1 + (i * 7 + j * 3) % 3).collect();
+            Plan::packed(wf, &types, 0, spec)
+        })
+        .collect()
+}
+
+fn frontier_seeds(k: usize) -> Vec<u64> {
+    (0..k as u64)
+        .map(|i| SEED ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect()
+}
 
 struct Case {
     name: &'static str,
@@ -69,9 +89,15 @@ fn median_secs(mut f: impl FnMut(), samples: usize, budget: Duration) -> f64 {
 }
 
 fn mc_eval(c: &mut Criterion) {
+    // Quick mode (CI): skip the criterion groups and the reference
+    // medians, measure only the per-plan vs batched-frontier comparison
+    // with small budgets, and fail if the frontier path is ever slower
+    // than evaluating the same candidates one compiled plan at a time.
+    let quick = std::env::var("MC_EVAL_QUICK").is_ok();
     let spec = CloudSpec::amazon_ec2();
     let store = MetadataStore::from_ground_truth(spec.clone(), 30);
     let mut rows = Vec::new();
+    let mut frontier_rows = Vec::new();
 
     for case in cases() {
         let wf = &case.wf;
@@ -96,6 +122,103 @@ fn mc_eval(c: &mut Criterion) {
             &mut scratch,
         );
         assert_eq!(a, b, "{}: compiled path diverged from reference", case.name);
+
+        // ---- Batched frontier vs per-plan compiled evaluation ----
+        let skel = FrontierSkeleton::build(wf, &table);
+        let mut fscratch = FrontierScratch::new();
+        let (budget, samples) = if quick {
+            (Duration::from_millis(250), 3)
+        } else {
+            (Duration::from_millis(1500), 7)
+        };
+        let ks: &[usize] = if quick { &[32] } else { &FRONTIER_KS };
+        for &k in ks {
+            let plans = beam_plans(wf, &spec, k);
+            let seeds = frontier_seeds(k);
+            let frontier =
+                CompiledFrontier::compile(&skel, &spec, &plans).expect("packer plans conform");
+
+            // Sanity: bit-identical to the per-plan compiled path.
+            let batched = frontier.evaluate(deadline, 0.9, 64, &seeds, &mut fscratch);
+            for (i, (p, s)) in plans.iter().zip(&seeds).enumerate() {
+                let one = mc_evaluate_plan_scratch(
+                    wf,
+                    p,
+                    &table,
+                    &spec,
+                    deadline,
+                    0.9,
+                    64,
+                    *s,
+                    &mut scratch,
+                );
+                assert_eq!(
+                    one, batched[i],
+                    "{} k={k}: frontier diverged from per-plan at candidate {i}",
+                    case.name
+                );
+            }
+
+            let per_plan_s = median_secs(
+                || {
+                    for (p, s) in plans.iter().zip(&seeds) {
+                        black_box(mc_evaluate_plan_scratch(
+                            wf,
+                            p,
+                            &table,
+                            &spec,
+                            deadline,
+                            0.9,
+                            MC_ITERS,
+                            *s,
+                            &mut scratch,
+                        ));
+                    }
+                },
+                samples,
+                budget,
+            );
+            let frontier_s = median_secs(
+                || {
+                    let f = CompiledFrontier::compile(&skel, &spec, &plans)
+                        .expect("packer plans conform");
+                    black_box(f.evaluate(deadline, 0.9, MC_ITERS, &seeds, &mut fscratch));
+                },
+                samples,
+                budget,
+            );
+            let speedup = per_plan_s / frontier_s;
+            println!(
+                "mc_eval {:<12} k={:<4} per_plan {:>10.1} us/cand  frontier {:>10.1} us/cand  speedup {:.2}x",
+                case.name,
+                k,
+                per_plan_s / k as f64 * 1e6,
+                frontier_s / k as f64 * 1e6,
+                speedup
+            );
+            frontier_rows.push(format!(
+                "    {{\"name\": \"{}\", \"tasks\": {}, \"k\": {}, \"mc_iters\": {}, \
+                 \"per_plan_us_per_cand\": {:.3}, \"frontier_us_per_cand\": {:.3}, \"speedup\": {:.3}}}",
+                case.name,
+                wf.len(),
+                k,
+                MC_ITERS,
+                per_plan_s / k as f64 * 1e6,
+                frontier_s / k as f64 * 1e6,
+                speedup
+            ));
+            if quick {
+                assert!(
+                    speedup >= 1.0,
+                    "{} k={k}: batched frontier slower than per-plan ({speedup:.2}x)",
+                    case.name
+                );
+            }
+        }
+
+        if quick {
+            continue;
+        }
 
         let mut group = c.benchmark_group(&format!("mc_eval/{}", case.name));
         group
@@ -186,10 +309,15 @@ fn mc_eval(c: &mut Criterion) {
         ));
     }
 
+    if quick {
+        println!("mc_eval quick mode: frontier >= per-plan on every case, skipping JSON");
+        return;
+    }
     let json = format!(
         "{{\n  \"bench\": \"mc_eval\",\n  \"unit\": \"microseconds_per_evaluation\",\n  \
-         \"cases\": [\n{}\n  ]\n}}\n",
-        rows.join(",\n")
+         \"cases\": [\n{}\n  ],\n  \"frontier\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n"),
+        frontier_rows.join(",\n")
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mc_eval.json");
     std::fs::write(out, json).expect("write BENCH_mc_eval.json");

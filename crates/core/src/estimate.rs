@@ -277,6 +277,10 @@ pub struct EvalScratch {
     durs: Vec<f64>,
     /// Sampled makespans across the realizations of one evaluation.
     makespans: Vec<f64>,
+    /// Buffers of the batched frontier evaluator ([`CompiledFrontier`]),
+    /// carried here so search workers thread one scratch through both the
+    /// per-plan and the frontier path.
+    pub(crate) frontier: FrontierScratch,
 }
 
 impl EvalScratch {
@@ -585,6 +589,624 @@ pub fn mc_evaluate_plan_reference(
         prob: hits as f64 / iters as f64,
         mean_cost: cost_sum / iters as f64,
         quantile_makespan: deco_prob::stats::quantile(&makespans, percentile.clamp(0.0, 1.0)),
+    }
+}
+
+/// Realization lanes per frontier pass: [`CompiledFrontier`] runs this
+/// many Monte-Carlo realizations of one candidate side by side. Within a
+/// lane group every index — CDF row, slot, transfer constant — is shared
+/// (the lanes differ only in their drawn `u`s), so the inner loops are
+/// branch-free f64 arithmetic over fixed-size lane arrays that the
+/// compiler auto-vectorizes: the paper's K×N kernel parallelism, with the
+/// N axis mapped onto SIMD lanes and the K axis onto the compiled
+/// candidate columns.
+pub const FRONTIER_LANES: usize = 8;
+
+/// The realization-invariant, *candidate-invariant* structure of one
+/// scheduling problem, compiled once per problem and shared by every
+/// frontier batch: the common dispatch order, the parent-edge CSR with raw
+/// payload bytes, and every per-(task, type) duration CDF flattened from
+/// the [`ExecTimeTable`].
+///
+/// Sharing is sound because the plan packers assign dispatch ranks in
+/// topological-order sequence, so every packed plan's
+/// [`Plan::dispatch_order`] equals the workflow's topological order —
+/// [`FrontierSkeleton::conforms`] verifies exactly that per candidate (an
+/// O(tasks) rank comparison), and non-conforming plans fall back to the
+/// per-plan path.
+#[derive(Debug, Clone)]
+pub struct FrontierSkeleton {
+    n_tasks: usize,
+    n_types: usize,
+    /// Tasks in the shared dispatch order (= topological order).
+    order: Vec<u32>,
+    /// Expected dispatch rank per task id (its position in `order`).
+    ranks: Vec<u32>,
+    /// CSR offsets into `epar`/`ebytes`, indexed by *dispatch position*
+    /// (not task id — the hot loop walks positions).
+    eoff: Vec<u32>,
+    /// Parent *dispatch position* per dependency edge (parents precede
+    /// children, so the kernel can keep every per-realization array in
+    /// position space and write it sequentially).
+    epar: Vec<u32>,
+    /// Raw payload bytes per edge (`0.0` when unrecorded).
+    ebytes: Vec<f64>,
+    /// CSR offsets into `cum`, row index `task * n_types + type`. Rows are
+    /// ragged: a constant histogram survives `rebin` with a single bin.
+    cdf_off: Vec<u32>,
+    /// Flattened per-(task, type) CDF rows — the exact bits of each
+    /// [`BinSampler`]'s prefix sums, with every row's last entry rewritten
+    /// to `+∞` (same clamp-folding trick as [`CompiledPlan`]).
+    cum: Vec<f64>,
+    /// `(lo, width)` bin geometry per (task, type) row.
+    geom: Vec<(f64, f64)>,
+}
+
+impl FrontierSkeleton {
+    /// Flatten the workflow structure and the whole estimate table. Costs
+    /// O(tasks × types × bins) once per [`crate::SchedulingProblem`] —
+    /// amortized over every candidate of every frontier batch of the
+    /// search.
+    pub fn build(wf: &Workflow, table: &ExecTimeTable) -> Self {
+        let n_tasks = wf.len();
+        let n_types = table.k();
+        let order: Vec<u32> = wf.topo_order().into_iter().map(|t| t.0).collect();
+        let mut ranks = vec![0u32; n_tasks];
+        for (pos, &raw) in order.iter().enumerate() {
+            ranks[raw as usize] = pos as u32;
+        }
+        let mut eoff = Vec::with_capacity(n_tasks + 1);
+        let mut epar = Vec::new();
+        let mut ebytes = Vec::new();
+        eoff.push(0u32);
+        for &raw in &order {
+            let t = deco_workflow::TaskId(raw);
+            for p in wf.parents(t) {
+                epar.push(ranks[p.0 as usize]);
+                ebytes.push(wf.edge_bytes(p, t).unwrap_or(0.0));
+            }
+            eoff.push(epar.len() as u32);
+        }
+        let mut cdf_off = Vec::with_capacity(n_tasks * n_types + 1);
+        let mut cum = Vec::new();
+        let mut geom = Vec::with_capacity(n_tasks * n_types);
+        cdf_off.push(0u32);
+        for t in 0..n_tasks {
+            for ty in 0..n_types {
+                let s: BinSampler = table.hist(t, ty).sampler();
+                cum.extend_from_slice(s.cum());
+                *cum.last_mut().expect("histogram has at least one bin") = f64::INFINITY;
+                geom.push((s.lo(), s.width()));
+                cdf_off.push(cum.len() as u32);
+            }
+        }
+        FrontierSkeleton {
+            n_tasks,
+            n_types,
+            order,
+            ranks,
+            eoff,
+            epar,
+            ebytes,
+            cdf_off,
+            cum,
+            geom,
+        }
+    }
+
+    /// Whether a plan's dispatch ranks match the shared skeleton order, so
+    /// its realizations can run over the skeleton bit-identically to its
+    /// own [`CompiledPlan`]. Distinct ranks equal to topological positions
+    /// make [`Plan::dispatch_order`] (Kahn + min-rank heap) pop tasks in
+    /// exactly topological order.
+    pub fn conforms(&self, plan: &Plan) -> bool {
+        plan.order == self.ranks
+    }
+
+    pub fn n_tasks(&self) -> usize {
+        self.n_tasks
+    }
+}
+
+/// One candidate column of a [`CompiledFrontier`]: the candidate's type
+/// choices resolved against the shared skeleton — CDF-row offsets, bin
+/// geometry and slot per dispatch position, transfer constants per edge,
+/// prices per slot. Everything realization-varying lives in the scratch;
+/// everything here is read-only in the hot loop.
+#[derive(Debug, Clone)]
+struct FrontierColumn {
+    /// The candidate's CDF rows copied out of `skel.cum` into one dense
+    /// `n_tasks × row_stride` matrix in dispatch order, short rows padded
+    /// with `+∞` (which no uniform draw ever exceeds, so padding never
+    /// changes a count). The copy trades O(tasks × bins) compile work for
+    /// a scan that streams sequentially with a uniform stride — reused by
+    /// every realization group — instead of gathering rows through
+    /// offsets.
+    rows: Vec<f64>,
+    /// Width of every padded row in `rows`.
+    row_stride: usize,
+    /// Bin geometry of that row, copied out of the skeleton so the hot
+    /// loop reads flat streams instead of chasing `geom` through rows.
+    row_lo: Vec<f64>,
+    row_w: Vec<f64>,
+    /// Slot index per dispatch position.
+    task_slot: Vec<u32>,
+    /// Lane offset into the scratch `slot_start` array where this
+    /// position's start times are recorded: `slot * LANES` when the
+    /// position is the first task dispatched to its slot (its start IS the
+    /// slot's first start — later tasks cannot start earlier than its
+    /// finish), or one dummy row past the real slots otherwise. The
+    /// unconditional routed store replaces a load + `min` + store per
+    /// position.
+    start_idx: Vec<u32>,
+    /// Constant transfer seconds per skeleton edge — the same per-plan
+    /// constant [`CompiledPlan`] bakes into its CSR.
+    transfer: Vec<f64>,
+    /// Hourly price per slot.
+    slot_price: Vec<f64>,
+    /// Total inter-region bytes (accumulated in dispatch-edge order — the
+    /// reference's f64 addition order).
+    cross_bytes: f64,
+}
+
+/// K candidate plans compiled over one [`FrontierSkeleton`] for a single
+/// K×N-realization pass — the batched counterpart of [`CompiledPlan`].
+///
+/// Per candidate the arithmetic (draw order, bin counts, max folds, cost
+/// ledger) exactly mirrors `CompiledPlan::compile` + `realize`, and each
+/// candidate consumes its own RNG stream seeded from its own per-state
+/// seed, so `evaluate` returns bit-for-bit the same [`McEval`]s as K
+/// independent [`mc_evaluate_plan_scratch`] calls — `tests/properties.rs`
+/// pins this.
+#[derive(Debug, Clone)]
+pub struct CompiledFrontier<'s> {
+    skel: &'s FrontierSkeleton,
+    cols: Vec<FrontierColumn>,
+    billing_quantum: f64,
+    inter_region_price_per_gb: f64,
+}
+
+/// Reusable buffers for [`CompiledFrontier`] evaluations — one per worker
+/// thread, same discipline as [`EvalScratch`] (results never depend on
+/// prior contents). All per-realization state is lane-blocked: entry
+/// `x * FRONTIER_LANES + r` belongs to realization lane `r`.
+#[derive(Debug, Clone, Default)]
+pub struct FrontierScratch {
+    /// Drawn uniforms, `[position * LANES + lane]`, refilled per group.
+    u: Vec<f64>,
+    /// Finish time, `[position * LANES + lane]` (position space, so the
+    /// schedule pass writes it sequentially).
+    finish: Vec<f64>,
+    /// Next free time per `[slot * LANES + lane]`, zeroed per group. Its
+    /// final value is also each slot's last task finish (per-slot finishes
+    /// are monotone in dispatch order), so the cost pass reads the busy
+    /// span's end from here and no separate last-finish array exists.
+    slot_free: Vec<f64>,
+    /// First start per `[slot * LANES + lane]`, plus one trailing dummy
+    /// row that absorbs the routed [`FrontierColumn::start_idx`] stores of
+    /// non-first positions. `+∞` marks a never-used slot; used slots are
+    /// rewritten every group, so the fill happens once per candidate.
+    slot_start: Vec<f64>,
+    /// Sampled makespans of the candidate under evaluation, realization
+    /// order.
+    makespans: Vec<f64>,
+}
+
+impl FrontierScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, n_tasks: usize, n_slots: usize) {
+        const L: usize = FRONTIER_LANES;
+        // `u` and `finish` need the right length but no refill: the draw
+        // pass fills `u` first, and parents precede children in dispatch
+        // order so every `finish` entry is written before it is read.
+        self.u.resize(n_tasks * L, 0.0);
+        self.finish.resize(n_tasks * L, 0.0);
+        // `slot_free` is refilled at the top of every lane group;
+        // `slot_start` only here (see the field docs).
+        self.slot_free.resize(n_slots * L, 0.0);
+        self.slot_start.clear();
+        self.slot_start.resize((n_slots + 1) * L, f64::INFINITY);
+        self.makespans.clear();
+    }
+}
+
+/// A `FRONTIER_LANES`-wide view into a lane-blocked scratch array. The
+/// bounds are debug-asserted here and guaranteed by the skeleton/column
+/// construction invariants at every call site (task ids `< n_tasks`, slot
+/// ids `< n_slots`, arrays sized by [`FrontierScratch::reset`]); skipping
+/// the release-mode checks keeps the per-position loop branch-free.
+#[inline(always)]
+fn lanes(s: &[f64], at: usize) -> &[f64; FRONTIER_LANES] {
+    debug_assert!(at + FRONTIER_LANES <= s.len());
+    // SAFETY: `at + FRONTIER_LANES <= s.len()` per the construction
+    // invariants above.
+    unsafe { &*(s.as_ptr().add(at) as *const [f64; FRONTIER_LANES]) }
+}
+
+#[inline(always)]
+fn lanes_mut(s: &mut [f64], at: usize) -> &mut [f64; FRONTIER_LANES] {
+    debug_assert!(at + FRONTIER_LANES <= s.len());
+    // SAFETY: as for [`lanes`].
+    unsafe { &mut *(s.as_mut_ptr().add(at) as *mut [f64; FRONTIER_LANES]) }
+}
+
+/// `f64::max` as a compare-select, which lowers to a bare `maxpd` instead
+/// of `maxpd` plus NaN fixups. Bit-equal to `f64::max` whenever no operand
+/// is NaN and the operands are not a `-0.0`/`+0.0` pair — schedule times
+/// here are sums/maxes of non-negative finite values, so neither case can
+/// occur (the debug assertion checks the NaN half).
+#[inline(always)]
+fn fmax(a: f64, b: f64) -> f64 {
+    debug_assert!(!a.is_nan() && !b.is_nan());
+    if b < a {
+        a
+    } else {
+        b
+    }
+}
+
+impl<'s> CompiledFrontier<'s> {
+    /// Resolve `plans` into candidate columns over the skeleton. Returns
+    /// `None` when any plan does not [`FrontierSkeleton::conforms`] — the
+    /// caller then takes the per-plan path (bit-identical by contract).
+    /// Much cheaper than K [`CompiledPlan::compile`] calls: no topological
+    /// sort and no CDF copies, only O(tasks + edges) resolution per
+    /// candidate.
+    pub fn compile(skel: &'s FrontierSkeleton, spec: &CloudSpec, plans: &[Plan]) -> Option<Self> {
+        if plans.iter().any(|p| !skel.conforms(p)) {
+            return None;
+        }
+        let n = skel.n_tasks;
+        let ne = skel.epar.len();
+        // Uniform padded row width: the longest CDF row any candidate can
+        // reference (rows are ragged only when `rebin` collapsed a
+        // constant histogram).
+        let row_stride = (0..skel.cdf_off.len() - 1)
+            .map(|r| (skel.cdf_off[r + 1] - skel.cdf_off[r]) as usize)
+            .max()
+            .unwrap_or(0);
+        let mut cols = Vec::with_capacity(plans.len());
+        for plan in plans {
+            let mut col = FrontierColumn {
+                rows: vec![f64::INFINITY; n * row_stride],
+                row_stride,
+                row_lo: vec![0.0f64; n],
+                row_w: vec![0.0f64; n],
+                task_slot: vec![0u32; n],
+                start_idx: vec![0u32; n],
+                transfer: vec![0.0f64; ne],
+                slot_price: plan
+                    .slots
+                    .iter()
+                    .map(|s| spec.price(s.itype, s.region))
+                    .collect(),
+                cross_bytes: 0.0,
+            };
+            let mut cross = 0.0f64;
+            let mut slot_seen = vec![false; plan.slots.len()];
+            for i in 0..n {
+                let t = skel.order[i] as usize;
+                let my_slot = plan.assign[t];
+                let ty = plan.slots[my_slot].itype;
+                let row = t * skel.n_types + ty;
+                let (off, end) = (skel.cdf_off[row] as usize, skel.cdf_off[row + 1] as usize);
+                col.rows[i * row_stride..i * row_stride + (end - off)]
+                    .copy_from_slice(&skel.cum[off..end]);
+                let (lo, w) = skel.geom[row];
+                col.row_lo[i] = lo;
+                col.row_w[i] = w;
+                col.task_slot[i] = my_slot as u32;
+                col.start_idx[i] = if slot_seen[my_slot] {
+                    (plan.slots.len() * FRONTIER_LANES) as u32
+                } else {
+                    slot_seen[my_slot] = true;
+                    (my_slot * FRONTIER_LANES) as u32
+                };
+                for e in skel.eoff[i] as usize..skel.eoff[i + 1] as usize {
+                    let p = skel.order[skel.epar[e] as usize] as usize;
+                    let p_slot = plan.assign[p];
+                    let mut tr = 0.0;
+                    if p_slot != my_slot {
+                        let bytes = skel.ebytes[e];
+                        let from = plan.slots[p_slot];
+                        let to = plan.slots[my_slot];
+                        if from.region != to.region {
+                            tr = deco_cloud::dynamics::phase_seconds_mean(
+                                bytes,
+                                &spec.cross_region_net(),
+                            );
+                            cross += bytes;
+                        } else {
+                            tr = deco_cloud::dynamics::phase_seconds_mean(
+                                bytes,
+                                &spec.pair_net(from.itype, to.itype),
+                            );
+                        }
+                    }
+                    col.transfer[e] = tr;
+                }
+            }
+            col.cross_bytes = cross;
+            cols.push(col);
+        }
+        Some(CompiledFrontier {
+            skel,
+            cols,
+            billing_quantum: spec.billing_quantum,
+            inter_region_price_per_gb: spec.inter_region_price_per_gb,
+        })
+    }
+
+    /// Number of candidates.
+    pub fn k(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Monte-Carlo evaluate all K candidates, `iters` realizations each,
+    /// in lane-vectorized passes. `seeds[i]` seeds candidate `i`'s own
+    /// RNG stream exactly as [`CompiledPlan::mc_evaluate`] would.
+    pub fn evaluate(
+        &self,
+        deadline: f64,
+        percentile: f64,
+        iters: usize,
+        seeds: &[u64],
+        scratch: &mut FrontierScratch,
+    ) -> Vec<McEval> {
+        assert!(iters > 0);
+        assert_eq!(seeds.len(), self.cols.len(), "one seed per candidate");
+        self.cols
+            .iter()
+            .zip(seeds)
+            .map(|(col, &seed)| self.run_column(col, deadline, percentile, iters, seed, scratch))
+            .collect()
+    }
+
+    /// One candidate's N realizations, [`FRONTIER_LANES`] at a time. Per
+    /// lane the operation sequence — one uniform draw per task in dispatch
+    /// order, the branch-free CDF count, the ready/start/finish maxes, the
+    /// slot spans, the cost ledger — is exactly [`CompiledPlan::realize`]'s
+    /// (lanes are independent realizations; `hits`/`cost_sum`/`makespans`
+    /// accumulate in realization order after each group). The draw pass
+    /// consumes the RNG stream in realization-major order — the exact
+    /// stream positions the per-plan loop reads — and the fused
+    /// sample-and-schedule pass then shares each position's CDF row, slot
+    /// and transfer constants across all lanes, so the per-lane work is
+    /// pure data-parallel f64 arithmetic.
+    fn run_column(
+        &self,
+        col: &FrontierColumn,
+        deadline: f64,
+        percentile: f64,
+        iters: usize,
+        seed: u64,
+        scratch: &mut FrontierScratch,
+    ) -> McEval {
+        // Re-compile the lane kernel for the widest vector unit the host
+        // actually has: the default x86-64 baseline is SSE2 (2 f64 lanes
+        // per op), so on AVX2/AVX-512 hosts the same inner body — every
+        // operation per-lane IEEE arithmetic, no FMA contraction — runs
+        // bit-identically at 4 or 8 lanes per op. Detection is a cached
+        // atomic load, negligible against a column's K×N work.
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                // SAFETY: the avx512f requirement of the target_feature
+                // wrapper was just verified at runtime.
+                return unsafe {
+                    self.run_column_avx512(col, deadline, percentile, iters, seed, scratch)
+                };
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                // SAFETY: the avx2 requirement of the target_feature
+                // wrapper was just verified at runtime.
+                return unsafe {
+                    self.run_column_avx2(col, deadline, percentile, iters, seed, scratch)
+                };
+            }
+        }
+        self.run_column_inner(col, deadline, percentile, iters, seed, scratch)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn run_column_avx2(
+        &self,
+        col: &FrontierColumn,
+        deadline: f64,
+        percentile: f64,
+        iters: usize,
+        seed: u64,
+        scratch: &mut FrontierScratch,
+    ) -> McEval {
+        self.run_column_inner(col, deadline, percentile, iters, seed, scratch)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn run_column_avx512(
+        &self,
+        col: &FrontierColumn,
+        deadline: f64,
+        percentile: f64,
+        iters: usize,
+        seed: u64,
+        scratch: &mut FrontierScratch,
+    ) -> McEval {
+        self.run_column_inner(col, deadline, percentile, iters, seed, scratch)
+    }
+
+    #[inline(always)]
+    fn run_column_inner(
+        &self,
+        col: &FrontierColumn,
+        deadline: f64,
+        percentile: f64,
+        iters: usize,
+        seed: u64,
+        scratch: &mut FrontierScratch,
+    ) -> McEval {
+        const L: usize = FRONTIER_LANES;
+        let n = self.skel.n_tasks;
+        let n_slots = col.slot_price.len();
+        scratch.reset(n, n_slots);
+        let mut rng: DecoRng = split_indexed(seed, 0x65737431);
+        let mut hits = 0usize;
+        let mut cost_sum = 0.0f64;
+        let eoff = &self.skel.eoff[..n + 1];
+        let epar = &self.skel.epar[..];
+        let stride = col.row_stride;
+        let rows = &col.rows[..n * stride];
+        let row_lo = &col.row_lo[..n];
+        let row_w = &col.row_w[..n];
+        let task_slot = &col.task_slot[..n];
+        let start_idx = &col.start_idx[..n];
+        let transfer = &col.transfer[..];
+        let u = &mut scratch.u[..n * L];
+        let finish = &mut scratch.finish[..n * L];
+        let slot_free = &mut scratch.slot_free[..n_slots * L];
+        let slot_start = &mut scratch.slot_start[..(n_slots + 1) * L];
+
+        // The reference ledger charges transfer as `0.0 + bytes/GiB³·price`
+        // — with both factors non-negative that sum is bit-equal to the
+        // product itself, so it hoists to a per-candidate constant.
+        let transfer_cost =
+            col.cross_bytes / (1024.0 * 1024.0 * 1024.0) * self.inter_region_price_per_gb;
+        let mut done = 0usize;
+        while done < iters {
+            // Lanes beyond `live` (a short tail group) draw nothing and
+            // schedule over stale `u`s; their results are never read.
+            let live = L.min(iters - done);
+            for r in 0..live {
+                for i in 0..n {
+                    // SAFETY: `u` has length `n * L`, `i < n`,
+                    // `r < live <= L`.
+                    unsafe { *u.get_unchecked_mut(i * L + r) = rand::Rng::gen(&mut rng) };
+                }
+            }
+            slot_free.fill(0.0);
+            let mut row_iter = rows.chunks_exact(stride.max(1));
+            for i in 0..n {
+                let ui = lanes(u, i * L);
+                let row = row_iter.next().unwrap_or(&[]);
+                // Counting in i32 keeps the whole scan in vector registers
+                // (compare → masked subtract), and four independent
+                // accumulators break the loop-carried dependency so the
+                // row entries pipeline instead of serializing — integer
+                // partial counts recombine exactly in any order. The total
+                // is a small integer, so the conversion below is exact and
+                // feeds the bin-center formula as the same value the
+                // reference's `bin as f64` produces.
+                let mut b0 = [0i32; L];
+                let mut b1 = [0i32; L];
+                let mut b2 = [0i32; L];
+                let mut b3 = [0i32; L];
+                let mut quads = row.chunks_exact(4);
+                for q in &mut quads {
+                    let (c0, c1, c2, c3) = (q[0], q[1], q[2], q[3]);
+                    for r in 0..L {
+                        b0[r] += (c0 < ui[r]) as i32;
+                        b1[r] += (c1 < ui[r]) as i32;
+                        b2[r] += (c2 < ui[r]) as i32;
+                        b3[r] += (c3 < ui[r]) as i32;
+                    }
+                }
+                for &c in quads.remainder() {
+                    for (r, b) in b0.iter_mut().enumerate() {
+                        *b += (c < ui[r]) as i32;
+                    }
+                }
+                let mut bin = [0i32; L];
+                for r in 0..L {
+                    bin[r] = (b0[r] + b1[r]) + (b2[r] + b3[r]);
+                }
+                let (lo, w) = (row_lo[i], row_w[i]);
+                let mut dur = [0.0f64; L];
+                for r in 0..L {
+                    dur[r] = fmax(lo + (bin[r] as f64 + 0.5) * w, 0.0);
+                }
+                let mut ready = [0.0f64; L];
+                for e in eoff[i] as usize..eoff[i + 1] as usize {
+                    // Parent positions precede `i` in dispatch order, so
+                    // `epar[e] < n_tasks` and `finish` is already written.
+                    let fp = lanes(finish, epar[e] as usize * L);
+                    let tr = transfer[e];
+                    for (r, rd) in ready.iter_mut().enumerate() {
+                        *rd = fmax(*rd, fp[r] + tr);
+                    }
+                }
+                // `task_slot[i] < n_slots` (`compile` resolved it against
+                // `plan.slots`) and `start_idx[i] <= n_slots * L` (the
+                // dummy row); `finish` is position-indexed so its store is
+                // sequential.
+                let s = task_slot[i] as usize * L;
+                let sf = lanes_mut(slot_free, s);
+                let st = lanes_mut(slot_start, start_idx[i] as usize);
+                let ft = lanes_mut(finish, i * L);
+                for r in 0..L {
+                    let start = fmax(ready[r], sf[r]);
+                    let end = start + dur[r];
+                    ft[r] = end;
+                    sf[r] = end;
+                    st[r] = start;
+                }
+            }
+            // Cost pass, slot-major so all lanes share each slot's price:
+            // per lane this inlines `CostLedger::add_instance`'s math —
+            // `ceil(span/quantum)` quanta, a zero-length busy span still
+            // billing one — and accumulates `compute` in slot order, the
+            // reference's f64 addition order. A slot's busy span runs from
+            // its recorded first start to its final `slot_free` (per-slot
+            // finishes are monotone); never-used slots keep `start = +∞ >
+            // 0 = slot_free` and contribute a masked `+0.0`, bit-equal to
+            // the reference skipping the add (the accumulator is never
+            // `-0.0`). Quanta counts are small integers, so skipping the
+            // reference's f64→u64→f64 round-trip loses nothing. The
+            // makespan — the reference's running max over task finishes —
+            // folds here from the same final `slot_free` values instead
+            // (`max` is associative and commutative over these non-NaN
+            // spans, so the value is identical).
+            let quantum = self.billing_quantum;
+            let mut compute = [0.0f64; L];
+            let mut makespan = [0.0f64; L];
+            for ((ss, zz), price) in slot_start
+                .chunks_exact(L)
+                .zip(slot_free.chunks_exact(L))
+                .zip(col.slot_price.iter())
+            {
+                for (((cp, mk), &a), &z) in
+                    compute.iter_mut().zip(makespan.iter_mut()).zip(ss).zip(zz)
+                {
+                    let seconds = z - a;
+                    let quanta = if seconds == 0.0 {
+                        1.0
+                    } else {
+                        (seconds / quantum).ceil()
+                    };
+                    *cp += if a <= z { quanta * price } else { 0.0 };
+                    *mk = fmax(*mk, z);
+                }
+            }
+            for r in 0..live {
+                if makespan[r] <= deadline {
+                    hits += 1;
+                }
+                cost_sum += compute[r] + transfer_cost;
+                scratch.makespans.push(makespan[r]);
+            }
+            done += live;
+        }
+        McEval {
+            prob: hits as f64 / iters as f64,
+            mean_cost: cost_sum / iters as f64,
+            quantile_makespan: deco_prob::stats::quantile(
+                &scratch.makespans,
+                percentile.clamp(0.0, 1.0),
+            ),
+        }
     }
 }
 

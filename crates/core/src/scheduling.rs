@@ -7,7 +7,10 @@
 //! is evaluated by Monte Carlo over the calibrated execution-time
 //! distributions.
 
-use crate::estimate::{mc_evaluate_plan_scratch, EvalScratch, ExecTimeTable};
+use crate::estimate::{
+    mc_evaluate_plan_scratch, CompiledFrontier, EvalScratch, ExecTimeTable, FrontierSkeleton,
+    McEval, FRONTIER_LANES,
+};
 use deco_cloud::{CloudSpec, MetadataStore, Plan};
 
 /// Which monetary objective the search minimizes.
@@ -49,6 +52,16 @@ pub struct SchedulingProblem<'a> {
     /// the probabilistic constraint guards against; the remainder is the
     /// variance reserve.
     pub pack_safety: f64,
+    /// Candidate-block width handed to the batched frontier evaluator:
+    /// the search backends chunk each frontier into blocks of this many
+    /// states and evaluate every block as one [`CompiledFrontier`] pass.
+    /// `1` disables the frontier path (per-state evaluation); results are
+    /// bit-identical either way.
+    pub frontier_block: usize,
+    /// Shared dispatch/CDF structure for the frontier evaluator, compiled
+    /// once per problem (rebuilt by [`SchedulingProblem::rebuild_frontier_skeleton`]
+    /// if `table` is replaced by hand).
+    skeleton: FrontierSkeleton,
 }
 
 impl<'a> SchedulingProblem<'a> {
@@ -61,10 +74,12 @@ impl<'a> SchedulingProblem<'a> {
     ) -> Self {
         assert!(deadline > 0.0, "deadline must be positive");
         assert!((0.0..=1.0).contains(&percentile));
+        let table = ExecTimeTable::build(wf, store, 12);
+        let skeleton = FrontierSkeleton::build(wf, &table);
         SchedulingProblem {
             wf,
             spec,
-            table: ExecTimeTable::build(wf, store, 12),
+            table,
             deadline,
             percentile,
             mc_iters: 100,
@@ -72,6 +87,8 @@ impl<'a> SchedulingProblem<'a> {
             promote_only: false,
             objective: ObjectiveMode::HourlyPlan,
             pack_safety: 0.85,
+            frontier_block: 4 * FRONTIER_LANES,
+            skeleton,
         }
     }
 
@@ -91,7 +108,46 @@ impl<'a> SchedulingProblem<'a> {
     ) -> Self {
         let mut p = Self::new(wf, spec, store, deadline, percentile);
         p.table = ExecTimeTable::build_failure_aware(wf, store, 12, p.region, retry);
+        p.rebuild_frontier_skeleton();
         p
+    }
+
+    /// Rebuild the cached [`FrontierSkeleton`] from the current `table`.
+    /// The constructors call this; it only needs calling again if `table`
+    /// is replaced by hand after construction (the skeleton flattens the
+    /// table's CDF rows, so a stale skeleton would evaluate against stale
+    /// distributions).
+    pub fn rebuild_frontier_skeleton(&mut self) {
+        self.skeleton = FrontierSkeleton::build(self.wf, &self.table);
+    }
+
+    /// Map one Monte-Carlo verdict to the search-facing [`Evaluation`] —
+    /// the single post-processing used by both the per-plan and the
+    /// frontier path (same inputs → same bits).
+    fn finish_eval(&self, s: &TypeState, e: McEval) -> Evaluation {
+        // The margin is a *continuous* proximity signal: the ratio of the
+        // deadline to the p-th-quantile makespan. It equals/exceeds 1 when
+        // the probabilistic constraint holds and decays smoothly as plans
+        // get slower, giving the search a gradient through the infeasible
+        // region (Figure 5's promotion chain).
+        let margin = if e.quantile_makespan > 0.0 {
+            (self.deadline / e.quantile_makespan).min(1.0)
+        } else {
+            1.0
+        };
+        let objective = match self.objective {
+            ObjectiveMode::HourlyPlan => e.mean_cost,
+            ObjectiveMode::FractionalMean => s
+                .iter()
+                .enumerate()
+                .map(|(i, &ty)| self.table.mean(i, ty) / 3600.0 * self.spec.price(ty, self.region))
+                .sum(),
+        };
+        Evaluation {
+            feasible: e.prob >= self.percentile,
+            objective,
+            constraint_margin: margin,
+        }
     }
 
     /// Materialize a type state into a provisioning plan with
@@ -153,7 +209,14 @@ impl SearchProblem for SchedulingProblem<'_> {
     }
 
     fn evaluate(&self, s: &TypeState, seed: u64) -> Evaluation {
-        self.evaluate_with(s, seed, &mut EvalScratch::new())
+        // Reuse one scratch per thread instead of allocating fresh buffers
+        // on every call — this is the fallback path long-lived callers hit
+        // without threading a scratch of their own.
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<EvalScratch> =
+                std::cell::RefCell::new(EvalScratch::new());
+        }
+        SCRATCH.with(|sc| self.evaluate_with(s, seed, &mut sc.borrow_mut()))
     }
 
     fn evaluate_with(&self, s: &TypeState, seed: u64, scratch: &mut EvalScratch) -> Evaluation {
@@ -169,28 +232,44 @@ impl SearchProblem for SchedulingProblem<'_> {
             seed,
             scratch,
         );
-        // The margin is a *continuous* proximity signal: the ratio of the
-        // deadline to the p-th-quantile makespan. It equals/exceeds 1 when
-        // the probabilistic constraint holds and decays smoothly as plans
-        // get slower, giving the search a gradient through the infeasible
-        // region (Figure 5's promotion chain).
-        let margin = if e.quantile_makespan > 0.0 {
-            (self.deadline / e.quantile_makespan).min(1.0)
-        } else {
-            1.0
-        };
-        let objective = match self.objective {
-            ObjectiveMode::HourlyPlan => e.mean_cost,
-            ObjectiveMode::FractionalMean => s
+        self.finish_eval(s, e)
+    }
+
+    fn frontier_block(&self) -> usize {
+        self.frontier_block.max(1)
+    }
+
+    fn evaluate_frontier(
+        &self,
+        states: &[TypeState],
+        seeds: &[u64],
+        scratch: &mut EvalScratch,
+    ) -> Vec<Evaluation> {
+        debug_assert_eq!(states.len(), seeds.len());
+        let plans: Vec<Plan> = states.iter().map(|s| self.plan_of(s)).collect();
+        match CompiledFrontier::compile(&self.skeleton, self.spec, &plans) {
+            Some(frontier) => {
+                let verdicts = frontier.evaluate(
+                    self.deadline,
+                    self.percentile,
+                    self.mc_iters,
+                    seeds,
+                    &mut scratch.frontier,
+                );
+                states
+                    .iter()
+                    .zip(verdicts)
+                    .map(|(s, e)| self.finish_eval(s, e))
+                    .collect()
+            }
+            // A candidate's dispatch ranks disagree with the shared
+            // skeleton (never the case for packer-produced plans): take
+            // the per-plan path, which is bit-identical by contract.
+            None => states
                 .iter()
-                .enumerate()
-                .map(|(i, &ty)| self.table.mean(i, ty) / 3600.0 * self.spec.price(ty, self.region))
-                .sum(),
-        };
-        Evaluation {
-            feasible: e.prob >= self.percentile,
-            objective,
-            constraint_margin: margin,
+                .zip(seeds)
+                .map(|(s, &seed)| self.evaluate_with(s, seed, scratch))
+                .collect(),
         }
     }
 

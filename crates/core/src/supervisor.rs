@@ -242,6 +242,7 @@ fn build_problem<'a>(
         None => SchedulingProblem::new(wf, spec, &deco.store, deadline, percentile),
     };
     problem.mc_iters = deco.options.mc_iters;
+    problem.frontier_block = deco.options.frontier_block;
     problem
 }
 

@@ -29,4 +29,4 @@ pub mod timing;
 
 pub use device::DeviceSpec;
 pub use kernel::{launch, launch_with, BlockResult, LaunchReport};
-pub use timing::{model_ticks, KernelTiming};
+pub use timing::{model, model_ticks, KernelTiming};

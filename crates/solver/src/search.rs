@@ -90,6 +90,11 @@ pub struct SearchOptions {
     /// unlimited, which leaves behavior bit-identical to an unbudgeted
     /// search.
     pub budget: SearchBudget,
+    /// Upper bound on the beam search's runner-up reservoir — evaluated
+    /// but unexpanded states kept for backtracking. `None` keeps the
+    /// historical bound `(beam_width * 16).max(64)`; searches with it set
+    /// to exactly that value are bit-identical to `None`.
+    pub pool_reserve: Option<usize>,
 }
 
 impl Default for SearchOptions {
@@ -100,6 +105,7 @@ impl Default for SearchOptions {
             batch: 64,
             seed: 0xD5C0,
             budget: SearchBudget::unlimited(),
+            pool_reserve: None,
         }
     }
 }
@@ -160,6 +166,9 @@ pub fn generic_search<P: SearchProblem>(
 ) -> SearchResult<P::State> {
     let t0 = Instant::now();
     let minimize = problem.minimize();
+    // One DeviceSpec clone per search, not per batch: `model_ticks` only
+    // needs the launch shape.
+    let device = backend.device();
     let mut stats = SearchStats::default();
     let mut visited: HashSet<P::State> = HashSet::new();
     let mut queue: VecDeque<P::State> = VecDeque::new();
@@ -181,7 +190,7 @@ pub fn generic_search<P: SearchProblem>(
         stats.modeled_eval_seconds += timing.modeled_seconds;
         stats.host_eval_seconds += timing.host_seconds;
         stats.budget_spent += model_ticks(
-            &backend.device(),
+            &device,
             batch.len(),
             problem.threads_per_state(),
             problem.state_bytes(),
@@ -236,6 +245,8 @@ pub fn beam_search<P: SearchProblem>(
     assert!(beam_width > 0);
     let t0 = Instant::now();
     let minimize = problem.minimize();
+    let device = backend.device();
+    let pool_reserve = opts.pool_reserve.unwrap_or((beam_width * 16).max(64));
     let mut stats = SearchStats::default();
     let mut visited: HashSet<P::State> = HashSet::new();
     let mut best: Option<(P::State, Evaluation)> = None;
@@ -273,7 +284,7 @@ pub fn beam_search<P: SearchProblem>(
             stats.modeled_eval_seconds += timing.modeled_seconds;
             stats.host_eval_seconds += timing.host_seconds;
             stats.budget_spent += model_ticks(
-                &backend.device(),
+                &device,
                 batch.len(),
                 problem.threads_per_state(),
                 problem.state_bytes(),
@@ -306,7 +317,7 @@ pub fn beam_search<P: SearchProblem>(
         // Expand the globally best `beam_width` unexpanded states; keep a
         // bounded reservoir of runners-up for later backtracking.
         pool.sort_by(|(_, a), (_, b)| rank(a, b));
-        pool.truncate((beam_width * 16).max(64));
+        pool.truncate(pool_reserve);
         let expand = pool.len().min(beam_width);
         for (state, _) in pool.drain(..expand) {
             for child in problem.neighbors(&state) {
@@ -370,6 +381,7 @@ pub fn astar_search<P: SearchProblem>(
 ) -> SearchResult<P::State> {
     let t0 = Instant::now();
     let minimize = problem.minimize();
+    let device = backend.device();
     let mut stats = SearchStats::default();
     let mut visited: HashSet<P::State> = HashSet::new();
     let mut open: BinaryHeap<HeapEntry<P::State>> = BinaryHeap::new();
@@ -384,7 +396,7 @@ pub fn astar_search<P: SearchProblem>(
     stats.modeled_eval_seconds += timing.modeled_seconds;
     stats.host_eval_seconds += timing.host_seconds;
     stats.budget_spent += model_ticks(
-        &backend.device(),
+        &device,
         1,
         problem.threads_per_state(),
         problem.state_bytes(),
@@ -434,7 +446,7 @@ pub fn astar_search<P: SearchProblem>(
         stats.modeled_eval_seconds += timing.modeled_seconds;
         stats.host_eval_seconds += timing.host_seconds;
         stats.budget_spent += model_ticks(
-            &backend.device(),
+            &device,
             batch.len(),
             problem.threads_per_state(),
             problem.state_bytes(),
@@ -685,6 +697,33 @@ mod tests {
             assert!(r.stats.truncated, "near-zero budget must truncate");
             assert!(r.stats.budget_spent > 0.0);
             assert!(r.stats.batches >= 1, "the first batch always runs");
+        }
+    }
+
+    #[test]
+    fn explicit_pool_reserve_at_default_bound_is_bit_identical_to_none() {
+        let p = Threshold {
+            n: 5,
+            k: 4,
+            target: 8,
+        };
+        for beam_width in [1usize, 4, 8] {
+            let plain = SearchOptions::default();
+            let explicit = SearchOptions {
+                pool_reserve: Some((beam_width * 16).max(64)),
+                ..Default::default()
+            };
+            let a = beam_search(&p, &plain, beam_width, &EvalBackend::SeqCpu);
+            let b = beam_search(&p, &explicit, beam_width, &EvalBackend::SeqCpu);
+            assert_eq!(a.stats.deterministic_key(), b.stats.deterministic_key());
+            assert_eq!(
+                a.best
+                    .as_ref()
+                    .map(|(s, e)| (s.clone(), e.objective.to_bits())),
+                b.best
+                    .as_ref()
+                    .map(|(s, e)| (s.clone(), e.objective.to_bits())),
+            );
         }
     }
 

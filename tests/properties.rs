@@ -158,6 +158,49 @@ proptest! {
         }
     }
 
+    /// The batched frontier evaluator is a pure optimization: K candidates
+    /// realized in one structure-of-arrays pass give the same bits as K
+    /// per-plan compiled evaluations, each candidate on its own seed
+    /// stream — over arbitrary DAGs, frontier widths and root seeds.
+    #[test]
+    fn compiled_frontier_matches_per_plan(
+        n in 2usize..20, p in 0.05f64..0.45,
+        seed in 0u64..60, k in 1usize..10, rng_seed in 0u64..1000,
+    ) {
+        use deco::engine::estimate::{
+            mc_evaluate_plan_scratch, CompiledFrontier, EvalScratch, ExecTimeTable,
+            FrontierScratch, FrontierSkeleton,
+        };
+        let spec = CloudSpec::amazon_ec2();
+        let store = deco::cloud::MetadataStore::from_ground_truth(spec.clone(), 25);
+        let wf = generators::random_dag(n, p, seed);
+        let table = ExecTimeTable::build(&wf, &store, 10);
+        let skel = FrontierSkeleton::build(&wf, &table);
+        let plans: Vec<Plan> = (0..k)
+            .map(|i| {
+                let types: Vec<usize> = (0..n).map(|j| (i * 5 + j * 3) % 4).collect();
+                Plan::packed(&wf, &types, 0, &spec)
+            })
+            .collect();
+        let seeds: Vec<u64> = (0..k as u64)
+            .map(|i| rng_seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        let mut scratch = EvalScratch::new();
+        let deadline = 0.8 * mc_evaluate_plan_scratch(
+            &wf, &plans[0], &table, &spec, f64::INFINITY, 0.9, 16, rng_seed, &mut scratch,
+        ).quantile_makespan;
+        let frontier = CompiledFrontier::compile(&skel, &spec, &plans);
+        prop_assert!(frontier.is_some(), "packer plans must conform to the skeleton");
+        let mut fscratch = FrontierScratch::new();
+        let batched = frontier.unwrap().evaluate(deadline, 0.9, 33, &seeds, &mut fscratch);
+        for (i, (pl, sd)) in plans.iter().zip(&seeds).enumerate() {
+            let one = mc_evaluate_plan_scratch(
+                &wf, pl, &table, &spec, deadline, 0.9, 33, *sd, &mut scratch,
+            );
+            prop_assert!(one == batched[i], "frontier diverged at candidate {}", i);
+        }
+    }
+
     /// The simulated makespan never beats the critical-path bound computed
     /// from the same realization floor (tasks cannot finish before their
     /// dependency chain's CPU time at infinite bandwidth).
@@ -258,6 +301,84 @@ proptest! {
 }
 
 // Non-proptest cross-crate invariants.
+
+/// Frontier batching changes how candidates are evaluated, not what the
+/// search decides: beam and A* runs with the batched path on
+/// (`frontier_block = 32`) are bit-identical — incumbent, verdict and
+/// deterministic stats — to runs with it off (`1`), on every backend and
+/// worker count (1/2/8 host cores and the GPU model).
+#[test]
+fn frontier_batched_search_matches_per_state_across_backends() {
+    use deco::engine::estimate::deadline_anchors;
+    use deco::engine::SchedulingProblem;
+    use deco::gpu::DeviceSpec;
+    use deco::solver::{EvalBackend, SearchOptions};
+    let spec = CloudSpec::amazon_ec2();
+    let store = deco::cloud::MetadataStore::from_ground_truth(spec.clone(), 20);
+    let backends = [
+        EvalBackend::SeqCpu,
+        EvalBackend::ParCpu(1),
+        EvalBackend::ParCpu(2),
+        EvalBackend::ParCpu(8),
+        EvalBackend::SimGpu(DeviceSpec::k40()),
+    ];
+    for wf in [generators::ligo(30, 1), generators::montage(12, 1)] {
+        let (dmin, dmax) = deadline_anchors(&wf, &spec);
+        let deadline = 0.5 * (dmin + dmax);
+        let solve = |block: usize, beam: Option<usize>, backend: &EvalBackend| {
+            let mut problem = SchedulingProblem::new(&wf, &spec, &store, deadline, 0.9);
+            problem.mc_iters = 24;
+            problem.frontier_block = block;
+            let opts = SearchOptions {
+                max_states: 60,
+                ..SearchOptions::default()
+            };
+            match beam {
+                Some(w) => problem.solve_beam(&opts, w, backend),
+                None => problem.solve_astar(&opts, backend),
+            }
+        };
+        for backend in &backends {
+            for beam in [Some(2), Some(4), None] {
+                let on = solve(32, beam, backend);
+                let off = solve(1, beam, backend);
+                assert_eq!(
+                    on.stats.deterministic_key(),
+                    off.stats.deterministic_key(),
+                    "{:?} beam={beam:?}: stats diverged with batching on",
+                    backend
+                );
+                assert_eq!(
+                    on.best, off.best,
+                    "{:?} beam={beam:?}: incumbent diverged with batching on",
+                    backend
+                );
+            }
+        }
+    }
+}
+
+/// Fallback semantics: a candidate whose dispatch ranks disagree with the
+/// shared skeleton cannot join a `CompiledFrontier` — `compile` refuses
+/// the whole batch (and `evaluate_frontier` takes the bit-identical
+/// per-plan path instead of silently evaluating a wrong order).
+#[test]
+fn frontier_compile_rejects_nonconforming_plans() {
+    use deco::engine::estimate::{CompiledFrontier, ExecTimeTable, FrontierSkeleton};
+    let spec = CloudSpec::amazon_ec2();
+    let store = deco::cloud::MetadataStore::from_ground_truth(spec.clone(), 20);
+    let wf = generators::ligo(20, 1);
+    let table = ExecTimeTable::build(&wf, &store, 12);
+    let skel = FrontierSkeleton::build(&wf, &table);
+    let mut plans: Vec<Plan> = (0..4)
+        .map(|i| Plan::packed(&wf, &vec![1 + i % 3; wf.len()], 0, &spec))
+        .collect();
+    assert!(CompiledFrontier::compile(&skel, &spec, &plans).is_some());
+    // Swap two dispatch ranks in one candidate: the batch no longer shares
+    // the skeleton's order.
+    plans[3].order.swap(0, wf.len() - 1);
+    assert!(CompiledFrontier::compile(&skel, &spec, &plans).is_none());
+}
 
 #[test]
 fn gpu_model_cpu1_is_identity_baseline() {
