@@ -1,0 +1,203 @@
+//! Sharded serving tier: N-shard throughput, WAL overhead, and
+//! cold-restart recovery.
+//!
+//! Criterion groups measure the 200-request mixed Ligo/Montage smoke
+//! trace end to end at 1, 2, and 4 shards (memory-only, so the
+//! comparison isolates the sharded solve path) plus the persistent
+//! 2-shard variant (WAL append on every cache/book mutation). Beyond the
+//! criterion output, the bench writes `BENCH_shard.json` at the
+//! repository root: smoke throughput per shard count, the WAL's
+//! overhead factor, cold-restart recovery time, and the recovered warm
+//! hit rate (acceptance: a cold-restarted tier answers the whole repeat
+//! trace warm, with recovery far cheaper than re-solving).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use deco_cloud::{CloudSpec, MetadataStore};
+use deco_core::estimate::deadline_anchors;
+use deco_core::Deco;
+use deco_serve::{Arrival, ArrivalTrace, PlanRequest, ServeConfig};
+use deco_shard::{ShardConfig, ShardedServer};
+use deco_workflow::generators;
+use deco_workflow::Workflow;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const WORKERS_PER_SHARD: usize = 2;
+
+fn engine() -> Deco {
+    let spec = CloudSpec::amazon_ec2();
+    let store = MetadataStore::from_ground_truth(spec, 25);
+    let mut d = Deco::new(store);
+    d.options.mc_iters = 30;
+    d.options.search.max_states = 150;
+    d
+}
+
+fn shapes() -> Vec<Workflow> {
+    let mut shapes = Vec::new();
+    for s in 0..4u64 {
+        shapes.push(generators::montage(1, 80 + s));
+        shapes.push(generators::ligo(12, 80 + s));
+    }
+    shapes
+}
+
+fn request_for(wf: Workflow, tenant: u32, spec: &CloudSpec) -> PlanRequest {
+    let (dmin, dmax) = deadline_anchors(&wf, spec);
+    PlanRequest {
+        tenant,
+        workflow: wf,
+        deadline: 0.5 * (dmin + dmax),
+        percentile: 0.9,
+        budget_hint: None,
+        priority: deco_serve::Priority::default(),
+    }
+}
+
+/// The CI smoke trace: 200 mixed Ligo/Montage requests from 4 tenants.
+fn smoke_trace(spec: &CloudSpec) -> ArrivalTrace {
+    let shapes = shapes();
+    let arrivals = (0..200u32)
+        .map(|i| Arrival {
+            at_tick: f64::from(i) * 1e9,
+            request: request_for(shapes[(i as usize) % shapes.len()].clone(), i % 4, spec),
+        })
+        .collect();
+    ArrivalTrace::new(arrivals)
+}
+
+fn config(shards: usize, persist_dir: Option<PathBuf>) -> ShardConfig {
+    ShardConfig {
+        shards,
+        workers_per_shard: WORKERS_PER_SHARD,
+        serve: ServeConfig::default(),
+        persist_dir,
+        snapshot_every: 0,
+    }
+}
+
+fn bench_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("deco_bench_shard_{}_{}", std::process::id(), name));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn shard(c: &mut Criterion) {
+    let deco = engine();
+    let spec = deco.store.spec.clone();
+    let trace = smoke_trace(&spec);
+
+    let mut group = c.benchmark_group("shard");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1500));
+    for shards in [1usize, 2, 4] {
+        group.bench_function(&format!("smoke200_mem_{shards}shard"), |b| {
+            b.iter(|| {
+                let mut tier =
+                    ShardedServer::new(deco.clone(), config(shards, None)).expect("mem tier");
+                black_box(tier.serve_trace(black_box(&trace)))
+            })
+        });
+    }
+    group.finish();
+
+    // Hand-timed numbers for the JSON (engine construction excluded).
+    let reps = 3;
+    let mut rps = Vec::new();
+    let mut reference: Option<Vec<String>> = None;
+    for shards in [1usize, 2, 4] {
+        let mut secs = 0.0;
+        for _ in 0..reps {
+            let mut tier = ShardedServer::new(deco.clone(), config(shards, None)).expect("tier");
+            let t0 = Instant::now();
+            let (responses, stats) = tier.serve_trace(&trace);
+            secs += t0.elapsed().as_secs_f64();
+            assert_eq!(responses.len(), 200);
+            assert_eq!(stats.planned, 200);
+            let lines: Vec<String> = responses.iter().map(|r| r.canonical_line()).collect();
+            match &reference {
+                None => reference = Some(lines),
+                Some(r) => assert_eq!(r, &lines, "byte-identical at {shards} shards"),
+            }
+        }
+        rps.push((shards, (reps * 200) as f64 / secs));
+    }
+
+    // Persistent 2-shard runs: a fresh tier over a fresh store each rep,
+    // so every rep pays the full cold-solve + WAL-append cost and the
+    // overhead factor compares like with like against the memory run.
+    let dir = bench_dir("persist");
+    let mut persist_secs = 0.0;
+    let mut wal_appends = 0u64;
+    let mut cached_entries = 0usize;
+    for rep in 0..reps {
+        let rep_dir = dir.join(format!("rep{rep}"));
+        let mut tier =
+            ShardedServer::new(deco.clone(), config(2, Some(rep_dir))).expect("persist tier");
+        let t0 = Instant::now();
+        let (responses, _) = tier.serve_trace(&trace);
+        persist_secs += t0.elapsed().as_secs_f64();
+        assert_eq!(responses.len(), 200);
+        wal_appends += tier.shard_stats().wal_appends;
+        cached_entries = tier.cache_len();
+    } // tiers dropped: simulated process exits
+    let persist_rps = (reps * 200) as f64 / persist_secs;
+    let wal_overhead = rps[1].1 / persist_rps;
+
+    // Cold restart over the last rep's store: how long to warm-start
+    // from snapshot+WAL, and does the repeat trace then serve fully
+    // warm?
+    let last_dir = dir.join(format!("rep{}", reps - 1));
+    let t0 = Instant::now();
+    let mut recovered =
+        ShardedServer::new(deco.clone(), config(2, Some(last_dir))).expect("recovered tier");
+    let recovery_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(recovered.cache_len(), cached_entries);
+    let t0 = Instant::now();
+    let (_, warm_stats) = recovered.serve_trace(&trace);
+    let warm_replay_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(warm_stats.misses, 0, "cold restart serves fully warm");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!(
+        "shard smoke200 mem 1/2/4 shards: {:.1} / {:.1} / {:.1} req/s  \
+         persist(2) {persist_rps:.1} req/s (wal x{wal_overhead:.2})  \
+         recovery {recovery_secs:.4}s ({} entries, {} frames)  warm replay {warm_replay_secs:.3}s \
+         hit_rate {:.3}",
+        rps[0].1,
+        rps[1].1,
+        rps[2].1,
+        recovered.shard_stats().recovered_entries,
+        recovered.shard_stats().recovered_frames,
+        warm_stats.hit_rate(),
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"shard\",\n  \"workers_per_shard\": {WORKERS_PER_SHARD},\n  \
+         \"acceptance\": \"byte-identical streams at 1/2/4 shards; cold restart replays fully warm\",\n  \
+         \"smoke_rps\": {{ \"shards_1\": {:.2}, \"shards_2\": {:.2}, \"shards_4\": {:.2} }},\n  \
+         \"persist_2shard_rps\": {persist_rps:.2},\n  \"wal_overhead_factor\": {wal_overhead:.3},\n  \
+         \"wal_appends_per_run\": {},\n  \"cold_restart\": {{\n    \
+         \"recovery_secs\": {recovery_secs:.6}, \"recovered_entries\": {}, \
+         \"recovered_frames\": {}, \"torn_bytes\": {},\n    \
+         \"warm_replay_secs\": {warm_replay_secs:.4}, \"repeat_misses\": {}, \
+         \"repeat_hit_rate\": {:.4}\n  }}\n}}\n",
+        rps[0].1,
+        rps[1].1,
+        rps[2].1,
+        wal_appends / reps as u64,
+        recovered.shard_stats().recovered_entries,
+        recovered.shard_stats().recovered_frames,
+        recovered.shard_stats().torn_bytes,
+        warm_stats.misses,
+        warm_stats.hit_rate(),
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shard.json");
+    std::fs::write(out, json).expect("write BENCH_shard.json");
+}
+
+criterion_group!(benches, shard);
+criterion_main!(benches);

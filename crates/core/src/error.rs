@@ -53,6 +53,11 @@ pub enum DecoError {
         /// The per-tenant queue quota.
         quota: usize,
     },
+    /// The durable plan store failed: an unreadable WAL directory, a
+    /// corrupt frame payload, or an I/O error while appending. Serving
+    /// degrades (a shard falls back to memory-only operation) rather than
+    /// panicking.
+    Store(String),
 }
 
 impl std::fmt::Display for DecoError {
@@ -77,6 +82,7 @@ impl std::fmt::Display for DecoError {
                 f,
                 "quota exceeded: tenant {tenant} already has {queued} queued (quota {quota})"
             ),
+            DecoError::Store(m) => write!(f, "store error: {m}"),
         }
     }
 }

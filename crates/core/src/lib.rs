@@ -39,6 +39,7 @@
 //! * [`supervisor`] — the degradation chain (Deco → heuristic →
 //!   autoscaling) that always hands back a plan, with provenance.
 
+pub mod codec;
 pub mod engine;
 pub mod ensemble;
 pub mod error;
@@ -47,6 +48,7 @@ pub mod followcost;
 pub mod scheduling;
 pub mod supervisor;
 
+pub use codec::{decode_supervised_plan, encode_supervised_plan};
 pub use engine::{Deco, DecoOptions, DecoPlan};
 pub use error::DecoError;
 pub use scheduling::{ObjectiveMode, SchedulingProblem};

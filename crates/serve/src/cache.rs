@@ -133,6 +133,12 @@ struct Entry {
 /// A bounded LRU map from content key to supervised plan. Eviction is
 /// deterministic: the least-recently-used entry goes first, ties broken by
 /// smaller key.
+///
+/// A **zero-capacity cache is a documented no-op**: [`PlanCache::insert`]
+/// never stores (and never evicts a phantom entry), every lookup misses,
+/// and `len()` stays 0. A shard misconfigured with `cache_capacity: 0`
+/// therefore fails soft — it serves every request as a cold solve instead
+/// of panicking at construction.
 pub struct PlanCache {
     map: HashMap<u64, Entry>,
     capacity: usize,
@@ -141,12 +147,16 @@ pub struct PlanCache {
 
 impl PlanCache {
     pub fn new(capacity: usize) -> Self {
-        assert!(capacity >= 1, "a zero-capacity cache cannot serve");
         PlanCache {
             map: HashMap::new(),
             capacity,
             clock: 0,
         }
+    }
+
+    /// The configured entry bound (0 means the cache never stores).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     pub fn len(&self) -> usize {
@@ -168,9 +178,13 @@ impl PlanCache {
     }
 
     /// Insert a solved plan; returns how many entries were evicted to
-    /// make room (0 or 1).
+    /// make room (0 or 1). With `capacity == 0` this is a no-op: nothing
+    /// is stored, nothing is evicted.
     pub fn insert(&mut self, key: u64, plan: SupervisedPlan, epoch: u64) -> usize {
         self.clock += 1;
+        if self.capacity == 0 {
+            return 0;
+        }
         let mut evicted = 0;
         if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
             if let Some(victim) = self
@@ -282,6 +296,26 @@ mod tests {
         assert!(cache.get(1).is_some());
         assert!(cache.get(3).is_some());
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_cache_is_a_no_op() {
+        let mut cache = PlanCache::new(0);
+        assert_eq!(cache.capacity(), 0);
+        assert_eq!(
+            cache.insert(1, dummy_plan(1), 0),
+            0,
+            "no phantom eviction on a no-op insert"
+        );
+        assert!(cache.get(1).is_none(), "nothing is ever stored");
+        assert_eq!(cache.len(), 0);
+        assert!(cache.is_empty());
+        // Repeated inserts stay no-ops and never evict.
+        for k in 0..10 {
+            assert_eq!(cache.insert(k, dummy_plan(k), 0), 0);
+        }
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.purge_stale(1), 0);
     }
 
     #[test]

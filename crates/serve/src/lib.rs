@@ -42,6 +42,7 @@ pub mod queue;
 pub mod request;
 pub mod server;
 pub mod stats;
+pub mod store;
 
 pub use cache::{plan_key, workflow_shape_hash, PlanCache};
 pub use faults::{WorkerFate, WorkerFaultPlan};
@@ -50,5 +51,9 @@ pub use request::{
     Arrival, ArrivalTrace, PlanRequest, PlanResponse, PlanSource, Priority, ServeOutcome,
     ServedPlan, TenantId,
 };
-pub use server::{canonical_deadline, CalibrationRefresh, PlanServer, ServeConfig, ServeSession};
+pub use server::{
+    canonical_deadline, serve_trace_backend, solve_jobs_on_pool, CalibrationRefresh, PlanServer,
+    ServeBackend, ServeConfig, ServeSession, SolveJob,
+};
 pub use stats::{CycleRow, ServeStats};
+pub use store::{PlanStore, RecoveredState, StoreFrame, StoreStats};

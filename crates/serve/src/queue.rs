@@ -124,22 +124,27 @@ impl AdmissionQueue {
 
     /// The deadline-aware shed policy: find the waiting request whose
     /// bucket-floored canonical deadline is already unmeetable — its
-    /// remaining slack at `now`, minus the fair-share service estimate
-    /// `est_service_ticks` for one more cycle, has run out — and remove
-    /// it from the queue. Victims are chosen lowest [`Priority`] class
-    /// first, then most-negative slack, then smallest `seq`; `None` when
-    /// every waiter can still meet its deadline (the caller then falls
-    /// back to rejecting the newest arrival, the pre-shed behavior).
+    /// remaining slack at `now`, minus the per-request service estimate
+    /// `est_service_ticks(request)` for one more cycle, has run out — and
+    /// remove it from the queue. The estimator is a function of the
+    /// request so callers can thread a per-shape solve-cost model (the
+    /// server's `shed_estimate` flag feeds the mean observed
+    /// `budget_spent` for the request's workflow shape); a constant
+    /// `|_| 0.0` reproduces the conservative policy that only sheds
+    /// already-expired waiters. Victims are chosen lowest [`Priority`]
+    /// class first, then most-negative slack, then smallest `seq`; `None`
+    /// when every waiter can still meet its deadline (the caller then
+    /// falls back to rejecting the newest arrival, the pre-shed behavior).
     pub fn shed_unmeetable(
         &mut self,
         now: f64,
         deadline_bucket: f64,
-        est_service_ticks: f64,
+        est_service_ticks: &dyn Fn(&PlanRequest) -> f64,
     ) -> Option<QueuedRequest> {
         let mut victim: Option<(Priority, f64, u64, usize)> = None;
         for (i, q) in self.pending.iter().enumerate() {
             let cd = canonical_deadline(q.request.deadline, deadline_bucket);
-            let slack = cd - (now - q.arrived_at) - est_service_ticks;
+            let slack = cd - (now - q.arrived_at) - est_service_ticks(&q.request);
             if slack >= 0.0 {
                 continue;
             }
@@ -295,28 +300,42 @@ mod tests {
         q.try_admit(2, 490.0, req_pri(3, Priority::Batch))
             .expect("admit");
         let victim = q
-            .shed_unmeetable(500.0, 60.0, 0.0)
+            .shed_unmeetable(500.0, 60.0, &|_| 0.0)
             .expect("two waiters are doomed");
         assert_eq!(victim.seq, 1, "background sheds before interactive");
         let victim = q
-            .shed_unmeetable(500.0, 60.0, 0.0)
+            .shed_unmeetable(500.0, 60.0, &|_| 0.0)
             .expect("the doomed interactive is next");
         assert_eq!(victim.seq, 0);
         assert!(
-            q.shed_unmeetable(500.0, 60.0, 0.0).is_none(),
+            q.shed_unmeetable(500.0, 60.0, &|_| 0.0).is_none(),
             "the fresh request still has slack"
         );
         assert_eq!(q.len(), 1);
     }
 
     #[test]
-    fn shed_accounts_for_the_fair_share_service_estimate() {
+    fn shed_accounts_for_the_per_request_service_estimate() {
         let mut q = AdmissionQueue::new(8);
         q.try_admit(0, 0.0, req(1)).expect("admit");
         // At now=30 with canonical deadline 60, slack is 30: alive with a
         // free cycle, doomed once a cycle is estimated to cost 40 ticks.
-        assert!(q.shed_unmeetable(30.0, 60.0, 0.0).is_none());
-        assert!(q.shed_unmeetable(30.0, 60.0, 40.0).is_some());
+        assert!(q.shed_unmeetable(30.0, 60.0, &|_| 0.0).is_none());
+        assert!(q.shed_unmeetable(30.0, 60.0, &|_| 40.0).is_some());
+    }
+
+    #[test]
+    fn shed_estimator_sees_the_request_it_prices() {
+        let mut q = AdmissionQueue::new(8);
+        q.try_admit(0, 0.0, req(1)).expect("admit");
+        q.try_admit(1, 0.0, req(2)).expect("admit");
+        // A shape-aware estimator dooms only tenant 2's request.
+        let est = |r: &PlanRequest| if r.tenant == 2 { 80.0 } else { 0.0 };
+        let victim = q
+            .shed_unmeetable(10.0, 60.0, &est)
+            .expect("tenant 2 estimated past its deadline");
+        assert_eq!(victim.request.tenant, 2);
+        assert!(q.shed_unmeetable(10.0, 60.0, &est).is_none());
     }
 
     #[test]

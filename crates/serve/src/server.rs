@@ -33,12 +33,28 @@
 //! at 1, 2, or 8 workers, with or without injected faults. The chaos
 //! tests pin this, and additionally pin that a quiescent fault plan is
 //! bit-identical to a server without the fault machinery at all.
+//!
+//! ## The backend abstraction
+//!
+//! The cycle loop itself is generic: [`serve_trace_backend`] drives any
+//! [`ServeBackend`] — an implementation of the cache, the
+//! quarantine/strike books, the solver pool, and the calibration swap.
+//! [`PlanServer`] is the single-process backend (one [`PlanCache`], one
+//! pool); the `deco-shard` crate implements the same trait with the cache
+//! and books **partitioned by contiguous content-key range** across N
+//! shards, each with its own worker pool and durable WAL-backed store.
+//! Every observable the engine produces is ordered by content key or
+//! trace sequence, and a key-range partition walked shard-by-shard in
+//! ascending range order visits keys in exactly the global canonical
+//! order — which is why an N-shard backend replays byte-identically to
+//! this single-process one (the shard tests pin N ∈ {1, 2, 4}).
 
-use crate::cache::{plan_key, PlanCache};
+use crate::cache::{plan_key, workflow_shape_hash, PlanCache};
 use crate::faults::{WorkerFate, WorkerFaultPlan};
 use crate::queue::{effective_budget, fair_share_budgets, AdmissionQueue, QueuedRequest};
 use crate::request::{
-    Arrival, ArrivalTrace, PlanResponse, PlanSource, ServeOutcome, ServedPlan, TenantId,
+    Arrival, ArrivalTrace, PlanRequest, PlanResponse, PlanSource, ServeOutcome, ServedPlan,
+    TenantId,
 };
 use crate::stats::{CycleRow, ServeStats};
 use deco_cloud::{MetadataStore, RetryConfig};
@@ -59,7 +75,8 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Requests drained per solve cycle.
     pub batch_size: usize,
-    /// Plan cache bound (entries).
+    /// Plan cache bound (entries). Zero is a documented no-op cache:
+    /// every request solves cold (fail-soft for misconfigured shards).
     pub cache_capacity: usize,
     /// Deadline canonicalization bucket, seconds. Deadlines are floored
     /// to a bucket multiple (never below one bucket), so near-identical
@@ -89,6 +106,14 @@ pub struct ServeConfig {
     /// above `retry.max_attempts` by default so a single job escalates
     /// before its key is quarantined.
     pub quarantine_threshold: u32,
+    /// Feed the deadline-aware shed policy a per-shape solve-cost
+    /// estimate: the mean observed `budget_spent` of this run's worker
+    /// solves, keyed by [`workflow_shape_hash`]. Off by default — the
+    /// conservative zero estimate sheds only already-expired waiters, and
+    /// quiescent response digests are unchanged. On, a waiter whose
+    /// remaining slack cannot cover one more solve of its shape is shed
+    /// at queue overflow instead of sacrificing viable work.
+    pub shed_estimate: bool,
 }
 
 impl Default for ServeConfig {
@@ -104,6 +129,7 @@ impl Default for ServeConfig {
             tenant_quota: None,
             retry: RetryConfig::default(),
             quarantine_threshold: 6,
+            shed_estimate: false,
         }
     }
 }
@@ -143,14 +169,68 @@ pub fn canonical_deadline(deadline: f64, bucket: f64) -> f64 {
     }
 }
 
-/// One cold solve dispatched to the worker pool.
+/// One cold solve dispatched to a worker pool. Public so alternative
+/// [`ServeBackend`]s (the shard tier) can route jobs to their own pools.
 #[derive(Debug)]
-struct SolveJob {
-    key: u64,
-    workflow: Workflow,
-    deadline: f64,
-    percentile: f64,
-    budget: SearchBudget,
+pub struct SolveJob {
+    pub key: u64,
+    pub workflow: Workflow,
+    /// Canonical (bucket-floored) deadline.
+    pub deadline: f64,
+    pub percentile: f64,
+    pub budget: SearchBudget,
+}
+
+/// The state a serving cycle loop runs against: a plan cache, the
+/// quarantine/strike books, a solver pool, and the calibration swap.
+///
+/// [`serve_trace_backend`] is written so that **every** mutation and
+/// query it issues is keyed by content key (or applies to the whole
+/// backend), and every iteration it performs over backend-derived data is
+/// in canonical key order. A backend that partitions its state by
+/// disjoint key ranges — with range-local storage but globally consistent
+/// answers (one logical LRU, one logical strike book) — is therefore
+/// observationally identical to the single-map implementation, which is
+/// the design contract the `deco-shard` tier builds on.
+pub trait ServeBackend {
+    /// The engine configuration and catalog every key is derived from.
+    fn deco(&self) -> &Deco;
+    /// Serving policy. Read once per trace replay.
+    fn config(&self) -> &ServeConfig;
+    /// Cache lookup; refreshes the entry's LRU stamp on a hit. Must
+    /// advance the LRU clock on misses too (the single-process cache
+    /// does, and eviction tie-breaking depends on it).
+    fn cache_get(&mut self, key: u64) -> Option<SupervisedPlan>;
+    /// Cache insert; returns entries evicted to make room (0 or 1).
+    fn cache_insert(&mut self, key: u64, plan: &SupervisedPlan, epoch: u64) -> usize;
+    /// Drop every entry solved under an older catalog epoch.
+    fn cache_purge_stale(&mut self, epoch: u64) -> usize;
+    /// Is this content key answered from the fallback chain?
+    fn is_key_quarantined(&self, key: u64) -> bool;
+    /// Worker-crash strikes recorded against a key, if any.
+    fn strike_count(&self, key: u64) -> Option<u32>;
+    /// Record one more crash strike; returns the new total.
+    fn add_strike(&mut self, key: u64) -> u32;
+    /// Quarantine a key (answered from fallback until a refresh).
+    fn quarantine_key(&mut self, key: u64);
+    /// Clear a key's strikes after a successful solve.
+    fn clear_strikes(&mut self, key: u64);
+    /// Solve one cycle's unique misses; results must land keyed by
+    /// content key so integration order is canonical.
+    #[allow(clippy::type_complexity)]
+    fn solve_jobs(
+        &self,
+        jobs: Vec<SolveJob>,
+        workers: usize,
+    ) -> BTreeMap<u64, (SearchBudget, Result<SupervisedPlan, DecoError>)>;
+    /// Atomically swap in freshly calibrated metadata between cycles;
+    /// returns `(new_epoch, purged_entries)`.
+    fn refresh_calibration(&mut self, store: MetadataStore) -> (u64, usize);
+    /// Hook invoked at every cycle boundary, just before the cycle's
+    /// classification pass. The single-process server does nothing; the
+    /// shard tier injects deterministic shard restarts (and WAL
+    /// compaction) here, strictly between cycles.
+    fn on_cycle_boundary(&mut self, _cycle: u64) {}
 }
 
 /// One solve a cycle is responsible for: a fresh miss (attempt 0) or a
@@ -187,19 +267,6 @@ enum Answer {
         /// waiter of a failed solve did queue behind the shared attempt).
         charge_hit: bool,
     },
-}
-
-/// The serving engine: a [`Deco`] instance, its plan cache, policy, and
-/// the fault-tolerance bookkeeping (per-key crash strikes + quarantine).
-pub struct PlanServer {
-    pub deco: Deco,
-    config: ServeConfig,
-    cache: PlanCache,
-    /// Content keys answered from the fallback chain instead of workers.
-    quarantine: BTreeSet<u64>,
-    /// Cumulative worker-crash strikes per content key (reset on a
-    /// successful solve or a calibration refresh).
-    key_failures: BTreeMap<u64, u32>,
 }
 
 /// Tighter-of-both on every budget axis.
@@ -250,6 +317,692 @@ fn fallback_answer(
             true,
         ),
     }
+}
+
+/// Observed per-shape solve costs for this run: shape hash → (solves,
+/// total budget_spent). Feeds the shed policy's service estimate when
+/// [`ServeConfig::shed_estimate`] is on.
+type ShapeCosts = BTreeMap<u64, (u64, f64)>;
+
+/// Mean observed solve cost for a request's workflow shape; zero when the
+/// shape has not been solved yet (conservative: never sheds on a guess).
+fn mean_shape_cost(costs: &ShapeCosts, request: &PlanRequest) -> f64 {
+    let shape = workflow_shape_hash(&request.workflow);
+    match costs.get(&shape) {
+        Some(&(n, total)) if n > 0 => total / n as f64,
+        _ => 0.0,
+    }
+}
+
+/// Structural validation before any key derivation or solving.
+fn validate_request(req: &PlanRequest) -> Result<(), DecoError> {
+    if req.workflow.is_empty() {
+        return Err(DecoError::Plan("workflow has no tasks".into()));
+    }
+    if !req.deadline.is_finite() || req.deadline <= 0.0 {
+        return Err(DecoError::Plan(format!(
+            "deadline must be finite and positive, got {}",
+            req.deadline
+        )));
+    }
+    if !(req.percentile > 0.0 && req.percentile <= 1.0) {
+        return Err(DecoError::Plan(format!(
+            "percentile must lie in (0, 1], got {}",
+            req.percentile
+        )));
+    }
+    if let Some(h) = req.budget_hint {
+        if !h.is_finite() || h <= 0.0 {
+            return Err(DecoError::Plan(format!(
+                "budget hint must be finite and positive, got {h}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Replay a recorded trace against any [`ServeBackend`] under an explicit
+/// [`ServeSession`]. This is the deterministic cycle loop behind
+/// [`PlanServer::serve_trace_session`] and the shard tier's replay:
+/// identical `(trace, session)` inputs produce byte-identical response
+/// streams and stats at any worker count — and, for a key-range
+/// partitioned backend, at any shard count.
+pub fn serve_trace_backend<B: ServeBackend>(
+    backend: &mut B,
+    trace: &ArrivalTrace,
+    workers: usize,
+    session: &ServeSession,
+) -> (Vec<PlanResponse>, ServeStats) {
+    assert!(workers >= 1, "the pool needs at least one worker");
+    let cfg = backend.config().clone();
+    assert!(cfg.batch_size >= 1, "batch_size must be at least 1");
+    let mut stats = ServeStats::default();
+    let epoch0 = backend.deco().store.catalog_epoch();
+    stats.stale_purged += backend.cache_purge_stale(epoch0) as u64;
+
+    let mut refreshes: Vec<CalibrationRefresh> = session.refreshes.clone();
+    refreshes.sort_by(|a, b| a.at_tick.total_cmp(&b.at_tick));
+    let mut refresh_next = 0usize;
+
+    let mut responses: Vec<PlanResponse> = Vec::with_capacity(trace.len());
+    let mut queue = AdmissionQueue::new(cfg.queue_capacity);
+    if let Some(quota) = cfg.tenant_quota {
+        queue = queue.with_tenant_quota(quota);
+    }
+    let mut retries: Vec<PendingSolve> = Vec::new();
+    let mut shape_costs: ShapeCosts = ShapeCosts::new();
+    let arrivals = trace.arrivals();
+    let mut next = 0usize;
+    let mut now = 0.0f64;
+    let mut shed_pending = 0u64;
+
+    while next < arrivals.len() || !queue.is_empty() || !retries.is_empty() {
+        // An idle server sleeps until the next recorded arrival or the
+        // earliest retry's backoff expiry, whichever comes first.
+        if queue.is_empty() && !retries.iter().any(|j| j.not_before <= now) {
+            let wake_arrival = arrivals
+                .get(next)
+                .map(|a| a.at_tick)
+                .unwrap_or(f64::INFINITY);
+            let wake_retry = retries
+                .iter()
+                .map(|j| j.not_before)
+                .fold(f64::INFINITY, f64::min);
+            let wake = wake_arrival.min(wake_retry);
+            if wake.is_finite() && wake > now {
+                now = wake;
+            }
+        }
+
+        // Apply due calibration refreshes strictly between cycles,
+        // re-keying pending retries into the new epoch.
+        while refresh_next < refreshes.len() && refreshes[refresh_next].at_tick <= now {
+            let refresh = refreshes[refresh_next].clone();
+            refresh_next += 1;
+            let (_, purged) = backend.refresh_calibration(refresh.store);
+            stats.refreshes += 1;
+            stats.stale_purged += purged as u64;
+            let deco = backend.deco();
+            for job in retries.iter_mut() {
+                job.key = plan_key(
+                    &job.workflow,
+                    &deco.store,
+                    &deco.options,
+                    job.deadline,
+                    job.percentile,
+                    job.key_budget,
+                );
+            }
+        }
+
+        // Admit everything that has arrived by now. Quota breaches
+        // reject the offending tenant only; a full queue first tries
+        // to shed a waiter whose deadline is already unmeetable, and
+        // rejects the newcomer only when every waiter is still
+        // viable.
+        while next < arrivals.len() && arrivals[next].at_tick <= now {
+            let Arrival { at_tick, request } = arrivals[next].clone();
+            let seq = next as u64;
+            let tenant = request.tenant;
+            next += 1;
+            match queue.try_admit(seq, at_tick, request.clone()) {
+                Ok(()) => {}
+                Err(e @ DecoError::QuotaExceeded { .. }) => {
+                    stats.rejected_quota += 1;
+                    responses.push(PlanResponse {
+                        seq,
+                        tenant,
+                        key: 0,
+                        outcome: ServeOutcome::Rejected {
+                            reason: e.to_string(),
+                        },
+                    });
+                }
+                Err(e) => {
+                    // The shed estimate: zero by default (a waiter is
+                    // doomed only once its canonical deadline has
+                    // *already* expired in queue — viable work is never
+                    // sacrificed to a forecast); with `shed_estimate` on,
+                    // the mean observed solve cost of the waiter's
+                    // workflow shape, so a waiter that cannot fit one
+                    // more solve of its own shape is sacrificed first.
+                    let shed = if cfg.shed_estimate {
+                        let est = |r: &PlanRequest| mean_shape_cost(&shape_costs, r);
+                        queue.shed_unmeetable(now, cfg.deadline_bucket, &est)
+                    } else {
+                        queue.shed_unmeetable(now, cfg.deadline_bucket, &|_| 0.0)
+                    };
+                    match shed {
+                        Some(victim) => {
+                            stats.shed += 1;
+                            shed_pending += 1;
+                            let cd =
+                                canonical_deadline(victim.request.deadline, cfg.deadline_bucket);
+                            responses.push(PlanResponse {
+                                seq: victim.seq,
+                                tenant: victim.request.tenant,
+                                key: 0,
+                                outcome: ServeOutcome::Shed {
+                                    reason: format!(
+                                        "canonical deadline {cd} already unmeetable \
+                                         at queue overflow"
+                                    ),
+                                },
+                            });
+                            if let Err(e2) = queue.try_admit(seq, at_tick, request) {
+                                stats.rejected_overload += 1;
+                                responses.push(PlanResponse {
+                                    seq,
+                                    tenant,
+                                    key: 0,
+                                    outcome: ServeOutcome::Rejected {
+                                        reason: e2.to_string(),
+                                    },
+                                });
+                            }
+                        }
+                        None => {
+                            stats.rejected_overload += 1;
+                            responses.push(PlanResponse {
+                                seq,
+                                tenant,
+                                key: 0,
+                                outcome: ServeOutcome::Rejected {
+                                    reason: e.to_string(),
+                                },
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        let batch = queue.drain_batch(cfg.batch_size);
+        let (ready, waiting): (Vec<PendingSolve>, Vec<PendingSolve>) =
+            retries.drain(..).partition(|j| j.not_before <= now);
+        retries = waiting;
+        if batch.is_empty() && ready.is_empty() {
+            continue;
+        }
+        let cycle = stats.cycles;
+        // Cycle boundary: the shard tier restarts crashed shards (and
+        // compacts WALs) here, strictly between cycles. No-op for the
+        // single-process server.
+        backend.on_cycle_boundary(cycle);
+        stats.cycles += 1;
+        // The whole cycle integrates against one epoch, read once
+        // here; refreshes only land between cycles (above).
+        let epoch = backend.deco().store.catalog_epoch();
+        let cycle_start = now;
+        now += run_cycle(
+            backend,
+            &cfg,
+            batch,
+            ready,
+            cycle,
+            cycle_start,
+            epoch,
+            workers,
+            &session.faults,
+            &mut retries,
+            shed_pending,
+            &mut shape_costs,
+            &mut stats,
+            &mut responses,
+        );
+        shed_pending = 0;
+    }
+
+    responses.sort_by_key(|r| r.seq);
+    (responses, stats)
+}
+
+/// Classify, solve, and answer one batch (plus any retry jobs whose
+/// backoff expired); returns the cycle's deterministic service ticks.
+#[allow(clippy::too_many_arguments)]
+fn run_cycle<B: ServeBackend>(
+    backend: &mut B,
+    cfg: &ServeConfig,
+    batch: Vec<QueuedRequest>,
+    ready: Vec<PendingSolve>,
+    cycle: u64,
+    cycle_start: f64,
+    epoch: u64,
+    workers: usize,
+    faults: &WorkerFaultPlan,
+    retries: &mut Vec<PendingSolve>,
+    shed_this_round: u64,
+    shape_costs: &mut ShapeCosts,
+    stats: &mut ServeStats,
+    responses: &mut Vec<PlanResponse>,
+) -> f64 {
+    let mut scratch = EvalScratch::new();
+    let mut service = 0.0f64;
+    let mut row = CycleRow {
+        cycle,
+        start_tick: cycle_start,
+        epoch,
+        batch: batch.len() as u64,
+        dispatched: 0,
+        hits: 0,
+        coalesced: 0,
+        crashes: 0,
+        retried: 0,
+        escalated: 0,
+        quarantined: 0,
+        straggler_ticks: 0.0,
+        shed: shed_this_round,
+    };
+
+    // This cycle's solves, keyed canonically: retry jobs whose
+    // backoff expired, then fresh misses from the batch.
+    let mut jobs: BTreeMap<u64, PendingSolve> = ready.into_iter().map(|j| (j.key, j)).collect();
+    let mut fresh_order: Vec<u64> = Vec::new();
+    // (request, key, canonical deadline, answer), assembled across
+    // the cycle and emitted in seq order at the end.
+    let mut answers: Vec<(QueuedRequest, u64, f64, Answer)> = Vec::new();
+
+    // Classification pass, in drain (priority, then seq) order —
+    // which also fixes the cache's LRU refresh order.
+    for qr in batch {
+        stats.requests += 1;
+        if let Err(e) = validate_request(&qr.request) {
+            stats.rejected_invalid += 1;
+            answers.push((
+                qr,
+                0,
+                0.0,
+                Answer::Reject {
+                    reason: e.to_string(),
+                    charge_hit: false,
+                },
+            ));
+            continue;
+        }
+        let cd = canonical_deadline(qr.request.deadline, cfg.deadline_bucket);
+        let key_budget = qr.request.budget_hint.or(cfg.budget.ticks);
+        let key = {
+            let deco = backend.deco();
+            plan_key(
+                &qr.request.workflow,
+                &deco.store,
+                &deco.options,
+                cd,
+                qr.request.percentile,
+                key_budget,
+            )
+        };
+        if let Some(plan) = backend.cache_get(key) {
+            answers.push((
+                qr,
+                key,
+                cd,
+                Answer::Plan {
+                    plan: Box::new(plan),
+                    source: PlanSource::Warm,
+                },
+            ));
+            continue;
+        }
+        if backend.is_key_quarantined(key) {
+            let strikes = backend
+                .strike_count(key)
+                .unwrap_or(cfg.quarantine_threshold);
+            let reason = format!("content key quarantined after {strikes} worker crashes");
+            let (answer, spent, failed) = fallback_answer(
+                backend.deco(),
+                &qr.request.workflow,
+                cd,
+                qr.request.percentile,
+                &reason,
+                PlanSource::Quarantined,
+                &mut scratch,
+            );
+            service += spent;
+            stats.solve_failures += u64::from(failed);
+            answers.push((qr, key, cd, answer));
+            continue;
+        }
+        if let Some(job) = jobs.get_mut(&key) {
+            // Coalesce onto this cycle's solve for the same key
+            // (a fresh sibling or a retry being redispatched now).
+            job.waiters.push(qr);
+            continue;
+        }
+        if let Some(job) = retries.iter_mut().find(|j| j.key == key) {
+            // The key is backing off after a crash: join its waiters
+            // instead of racing a duplicate solve.
+            job.waiters.push(qr);
+            continue;
+        }
+        fresh_order.push(key);
+        jobs.insert(
+            key,
+            PendingSolve {
+                key,
+                workflow: qr.request.workflow.clone(),
+                deadline: cd,
+                percentile: qr.request.percentile,
+                budget: SearchBudget::unlimited(), // budgeted below
+                key_budget,
+                attempt: 0,
+                not_before: cycle_start,
+                waiters: vec![qr],
+            },
+        );
+    }
+
+    // Fair-share the cycle pool across the fresh misses' tenants,
+    // then clamp by the per-request cap and each request's hint.
+    // Retry jobs keep their original (backoff-decremented) budgets.
+    let tenants: Vec<TenantId> = fresh_order
+        .iter()
+        .map(|k| jobs[k].waiters[0].request.tenant)
+        .collect();
+    let shares = fair_share_budgets(cfg.cycle_tick_pool, &tenants);
+    for (key, share) in fresh_order.iter().zip(shares) {
+        let job = jobs.get_mut(key).expect("fresh keys were just inserted");
+        let capped = min_budget(&cfg.budget, &share);
+        job.budget = effective_budget(&capped, job.waiters[0].request.budget_hint);
+    }
+
+    // Draw worker fates by canonical job rank: rank -> virtual worker
+    // -> fate, independent of the physical pool size.
+    let crashed_keys: Vec<u64> = jobs
+        .iter()
+        .enumerate()
+        .filter_map(
+            |(rank, (&key, _))| match faults.fate(cycle, faults.assign(rank)) {
+                WorkerFate::Crash => Some(key),
+                WorkerFate::Straggler(delay) => {
+                    service += delay;
+                    row.straggler_ticks += delay;
+                    stats.straggler_ticks += delay;
+                    None
+                }
+                WorkerFate::Healthy => None,
+            },
+        )
+        .collect();
+
+    // Crashed solves: strike the key, then quarantine, escalate, or
+    // re-enqueue with capped backoff charged against the budget.
+    for key in crashed_keys {
+        let mut job = jobs
+            .remove(&key)
+            .expect("crashed keys come from the job map");
+        row.crashes += 1;
+        stats.worker_crashes += 1;
+        // The lost attempt burned its budget on a dead worker.
+        service += job.budget.ticks.unwrap_or(0.0);
+        job.attempt += 1;
+        let strikes = backend.add_strike(key);
+        if strikes >= cfg.quarantine_threshold {
+            backend.quarantine_key(key);
+            let reason = format!("content key quarantined after {strikes} worker crashes");
+            for qr in job.waiters {
+                let (answer, spent, failed) = fallback_answer(
+                    backend.deco(),
+                    &job.workflow,
+                    job.deadline,
+                    job.percentile,
+                    &reason,
+                    PlanSource::Quarantined,
+                    &mut scratch,
+                );
+                service += spent;
+                stats.solve_failures += u64::from(failed);
+                answers.push((qr, key, job.deadline, answer));
+            }
+        } else if job.attempt >= cfg.retry.max_attempts {
+            stats.escalated += 1;
+            row.escalated += 1;
+            let reason = format!("retries exhausted after {} worker crashes", job.attempt);
+            for qr in job.waiters {
+                let (answer, spent, failed) = fallback_answer(
+                    backend.deco(),
+                    &job.workflow,
+                    job.deadline,
+                    job.percentile,
+                    &reason,
+                    PlanSource::Retried,
+                    &mut scratch,
+                );
+                service += spent;
+                stats.solve_failures += u64::from(failed);
+                answers.push((qr, key, job.deadline, answer));
+            }
+        } else {
+            stats.retries += 1;
+            let backoff = cfg.retry.backoff(job.attempt);
+            job.not_before = cycle_start + backoff;
+            job.budget = job.budget.minus_ticks(backoff);
+            retries.push(job);
+        }
+    }
+
+    // Dispatch the surviving jobs to the backend's pool(s).
+    let dispatch: Vec<SolveJob> = jobs
+        .values()
+        .map(|job| SolveJob {
+            key: job.key,
+            workflow: job.workflow.clone(),
+            deadline: job.deadline,
+            percentile: job.percentile,
+            budget: job.budget.clone(),
+        })
+        .collect();
+    row.dispatched = dispatch.len() as u64;
+    let solved = backend.solve_jobs(dispatch, workers);
+
+    // Integrate in canonical key order: cache updates (and therefore
+    // eviction order and LRU clocks) are independent of which worker
+    // finished first.
+    for (key, (budget, result)) in &solved {
+        match result {
+            Ok(plan) => {
+                service += plan.provenance.budget_spent;
+                stats.evictions += backend.cache_insert(*key, plan, epoch) as u64;
+                backend.clear_strikes(*key);
+            }
+            Err(_) => {
+                stats.solve_failures += 1;
+                service += budget.ticks.unwrap_or(0.0);
+            }
+        }
+    }
+
+    // Attach each job's waiters to its result, key order.
+    for (key, job) in jobs {
+        let (_, result) = solved
+            .get(&key)
+            .expect("every dispatched key has a solve result");
+        match result {
+            Ok(plan) => {
+                if cfg.shed_estimate {
+                    // Feed the shed policy's per-shape solve-cost model.
+                    let shape = workflow_shape_hash(&job.workflow);
+                    let entry = shape_costs.entry(shape).or_insert((0, 0.0));
+                    entry.0 += 1;
+                    entry.1 += plan.provenance.budget_spent;
+                }
+                if job.attempt == 0 {
+                    for (i, qr) in job.waiters.into_iter().enumerate() {
+                        let source = if i == 0 {
+                            PlanSource::Cold
+                        } else {
+                            PlanSource::Coalesced
+                        };
+                        answers.push((
+                            qr,
+                            key,
+                            job.deadline,
+                            Answer::Plan {
+                                plan: Box::new(plan.clone()),
+                                source,
+                            },
+                        ));
+                    }
+                } else {
+                    row.retried += 1;
+                    for qr in job.waiters {
+                        answers.push((
+                            qr,
+                            key,
+                            job.deadline,
+                            Answer::Plan {
+                                plan: Box::new(plan.clone()),
+                                source: PlanSource::Retried,
+                            },
+                        ));
+                    }
+                }
+            }
+            Err(e) => {
+                for (i, qr) in job.waiters.into_iter().enumerate() {
+                    answers.push((
+                        qr,
+                        key,
+                        job.deadline,
+                        Answer::Reject {
+                            reason: e.to_string(),
+                            charge_hit: i > 0 && job.attempt == 0,
+                        },
+                    ));
+                }
+            }
+        }
+    }
+
+    // Answer in sequence order (hit ticks are charged here so the
+    // service sum's float-addition order matches the pre-fault
+    // server exactly on quiescent runs).
+    answers.sort_by_key(|(qr, ..)| qr.seq);
+    for (qr, key, cd, answer) in answers {
+        match answer {
+            Answer::Plan { plan, source } => {
+                match source {
+                    PlanSource::Warm => {
+                        service += cfg.hit_ticks;
+                        stats.hits += 1;
+                        row.hits += 1;
+                    }
+                    PlanSource::Cold => stats.misses += 1,
+                    PlanSource::Coalesced => {
+                        service += cfg.hit_ticks;
+                        stats.coalesced += 1;
+                        row.coalesced += 1;
+                    }
+                    PlanSource::Retried => {}
+                    PlanSource::Quarantined => {
+                        stats.quarantined += 1;
+                        row.quarantined += 1;
+                    }
+                }
+                match plan.provenance.stage {
+                    PlanStage::Deco => stats.stage_deco += 1,
+                    PlanStage::Heuristic => stats.stage_heuristic += 1,
+                    PlanStage::Autoscaling => stats.stage_autoscaling += 1,
+                }
+                stats.planned += 1;
+                let wait = cycle_start - qr.arrived_at;
+                stats.waits.push(wait);
+                responses.push(PlanResponse {
+                    seq: qr.seq,
+                    tenant: qr.request.tenant,
+                    key,
+                    outcome: ServeOutcome::Planned(Box::new(ServedPlan {
+                        plan: *plan,
+                        source,
+                        wait_ticks: wait,
+                        canonical_deadline: cd,
+                    })),
+                });
+            }
+            Answer::Reject { reason, charge_hit } => {
+                if charge_hit {
+                    service += cfg.hit_ticks;
+                }
+                responses.push(PlanResponse {
+                    seq: qr.seq,
+                    tenant: qr.request.tenant,
+                    key,
+                    outcome: ServeOutcome::Rejected { reason },
+                });
+            }
+        }
+    }
+    stats.cycle_rows.push(row);
+    service
+}
+
+/// Solve a set of jobs on a scoped worker-thread pool (vendored crossbeam
+/// channels, one reusable [`EvalScratch`] per worker). Results land in a
+/// `BTreeMap`, so downstream iteration is in key order no matter the
+/// thread interleaving. Shared by [`PlanServer`] and the shard tier's
+/// per-shard pools.
+#[allow(clippy::type_complexity)]
+pub fn solve_jobs_on_pool(
+    deco: &Deco,
+    jobs: Vec<SolveJob>,
+    workers: usize,
+) -> BTreeMap<u64, (SearchBudget, Result<SupervisedPlan, DecoError>)> {
+    if jobs.is_empty() {
+        return BTreeMap::new();
+    }
+    let pool = workers.min(jobs.len()).max(1);
+    let (job_tx, job_rx) = crossbeam::channel::unbounded::<SolveJob>();
+    let (res_tx, res_rx) =
+        crossbeam::channel::unbounded::<(u64, (SearchBudget, Result<SupervisedPlan, DecoError>))>();
+    std::thread::scope(|scope| {
+        for _ in 0..pool {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            scope.spawn(move || {
+                // One reusable scratch per worker; reuse is
+                // bit-identical to fresh scratch (pinned in
+                // deco-core's supervisor tests).
+                let mut scratch = EvalScratch::new();
+                for job in job_rx.iter() {
+                    let result = plan_with_fallback_scratch(
+                        deco,
+                        &job.workflow,
+                        job.deadline,
+                        job.percentile,
+                        &job.budget,
+                        &mut scratch,
+                    );
+                    if res_tx.send((job.key, (job.budget, result))).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(job_rx);
+        drop(res_tx);
+        for job in jobs {
+            job_tx
+                .send(job)
+                .expect("workers outlive the job queue within the scope");
+        }
+        drop(job_tx);
+        res_rx.iter().collect()
+    })
+}
+
+/// The single-process serving engine: a [`Deco`] instance, its plan
+/// cache, policy, and the fault-tolerance bookkeeping (per-key crash
+/// strikes + quarantine). This is the canonical [`ServeBackend`]; the
+/// shard tier's partitioned backend is pinned byte-identical to it.
+pub struct PlanServer {
+    pub deco: Deco,
+    config: ServeConfig,
+    cache: PlanCache,
+    /// Content keys answered from the fallback chain instead of workers.
+    quarantine: BTreeSet<u64>,
+    /// Cumulative worker-crash strikes per content key (reset on a
+    /// successful solve or a calibration refresh).
+    key_failures: BTreeMap<u64, u32>,
 }
 
 impl PlanServer {
@@ -316,33 +1069,6 @@ impl PlanServer {
         (epoch, purged)
     }
 
-    /// Structural validation before any key derivation or solving.
-    fn validate(req: &crate::request::PlanRequest) -> Result<(), DecoError> {
-        if req.workflow.is_empty() {
-            return Err(DecoError::Plan("workflow has no tasks".into()));
-        }
-        if !req.deadline.is_finite() || req.deadline <= 0.0 {
-            return Err(DecoError::Plan(format!(
-                "deadline must be finite and positive, got {}",
-                req.deadline
-            )));
-        }
-        if !(req.percentile > 0.0 && req.percentile <= 1.0) {
-            return Err(DecoError::Plan(format!(
-                "percentile must lie in (0, 1], got {}",
-                req.percentile
-            )));
-        }
-        if let Some(h) = req.budget_hint {
-            if !h.is_finite() || h <= 0.0 {
-                return Err(DecoError::Plan(format!(
-                    "budget hint must be finite and positive, got {h}"
-                )));
-            }
-        }
-        Ok(())
-    }
-
     /// Replay a recorded trace with `workers` solver threads under a
     /// quiescent session (no faults, no refreshes), returning the
     /// response stream in trace order plus the run's stats. The response
@@ -366,603 +1092,63 @@ impl PlanServer {
         workers: usize,
         session: &ServeSession,
     ) -> (Vec<PlanResponse>, ServeStats) {
-        assert!(workers >= 1, "the pool needs at least one worker");
-        let mut stats = ServeStats::default();
-        stats.stale_purged += self.cache.purge_stale(self.deco.store.catalog_epoch()) as u64;
-
-        let mut refreshes: Vec<CalibrationRefresh> = session.refreshes.clone();
-        refreshes.sort_by(|a, b| a.at_tick.total_cmp(&b.at_tick));
-        let mut refresh_next = 0usize;
-
-        let mut responses: Vec<PlanResponse> = Vec::with_capacity(trace.len());
-        let mut queue = AdmissionQueue::new(self.config.queue_capacity);
-        if let Some(quota) = self.config.tenant_quota {
-            queue = queue.with_tenant_quota(quota);
-        }
-        let mut retries: Vec<PendingSolve> = Vec::new();
-        let arrivals = trace.arrivals();
-        let mut next = 0usize;
-        let mut now = 0.0f64;
-        let mut shed_pending = 0u64;
-
-        while next < arrivals.len() || !queue.is_empty() || !retries.is_empty() {
-            // An idle server sleeps until the next recorded arrival or the
-            // earliest retry's backoff expiry, whichever comes first.
-            if queue.is_empty() && !retries.iter().any(|j| j.not_before <= now) {
-                let wake_arrival = arrivals
-                    .get(next)
-                    .map(|a| a.at_tick)
-                    .unwrap_or(f64::INFINITY);
-                let wake_retry = retries
-                    .iter()
-                    .map(|j| j.not_before)
-                    .fold(f64::INFINITY, f64::min);
-                let wake = wake_arrival.min(wake_retry);
-                if wake.is_finite() && wake > now {
-                    now = wake;
-                }
-            }
-
-            // Apply due calibration refreshes strictly between cycles,
-            // re-keying pending retries into the new epoch.
-            while refresh_next < refreshes.len() && refreshes[refresh_next].at_tick <= now {
-                let refresh = refreshes[refresh_next].clone();
-                refresh_next += 1;
-                let (_, purged) = self.refresh_calibration(refresh.store);
-                stats.refreshes += 1;
-                stats.stale_purged += purged as u64;
-                for job in retries.iter_mut() {
-                    job.key = plan_key(
-                        &job.workflow,
-                        &self.deco.store,
-                        &self.deco.options,
-                        job.deadline,
-                        job.percentile,
-                        job.key_budget,
-                    );
-                }
-            }
-
-            // Admit everything that has arrived by now. Quota breaches
-            // reject the offending tenant only; a full queue first tries
-            // to shed a waiter whose deadline is already unmeetable, and
-            // rejects the newcomer only when every waiter is still
-            // viable.
-            while next < arrivals.len() && arrivals[next].at_tick <= now {
-                let Arrival { at_tick, request } = arrivals[next].clone();
-                let seq = next as u64;
-                let tenant = request.tenant;
-                next += 1;
-                match queue.try_admit(seq, at_tick, request.clone()) {
-                    Ok(()) => {}
-                    Err(e @ DecoError::QuotaExceeded { .. }) => {
-                        stats.rejected_quota += 1;
-                        responses.push(PlanResponse {
-                            seq,
-                            tenant,
-                            key: 0,
-                            outcome: ServeOutcome::Rejected {
-                                reason: e.to_string(),
-                            },
-                        });
-                    }
-                    Err(e) => {
-                        // Conservative shed estimate: a waiter is doomed
-                        // only once its canonical deadline has *already*
-                        // expired in queue. (The queue API accepts a
-                        // service estimate for sharper policies; zero
-                        // never sheds a request that could still be
-                        // answered instantly, so viable work is never
-                        // sacrificed to a forecast.)
-                        let shed = queue.shed_unmeetable(now, self.config.deadline_bucket, 0.0);
-                        match shed {
-                            Some(victim) => {
-                                stats.shed += 1;
-                                shed_pending += 1;
-                                let cd = canonical_deadline(
-                                    victim.request.deadline,
-                                    self.config.deadline_bucket,
-                                );
-                                responses.push(PlanResponse {
-                                    seq: victim.seq,
-                                    tenant: victim.request.tenant,
-                                    key: 0,
-                                    outcome: ServeOutcome::Shed {
-                                        reason: format!(
-                                            "canonical deadline {cd} already unmeetable \
-                                             at queue overflow"
-                                        ),
-                                    },
-                                });
-                                if let Err(e2) = queue.try_admit(seq, at_tick, request) {
-                                    stats.rejected_overload += 1;
-                                    responses.push(PlanResponse {
-                                        seq,
-                                        tenant,
-                                        key: 0,
-                                        outcome: ServeOutcome::Rejected {
-                                            reason: e2.to_string(),
-                                        },
-                                    });
-                                }
-                            }
-                            None => {
-                                stats.rejected_overload += 1;
-                                responses.push(PlanResponse {
-                                    seq,
-                                    tenant,
-                                    key: 0,
-                                    outcome: ServeOutcome::Rejected {
-                                        reason: e.to_string(),
-                                    },
-                                });
-                            }
-                        }
-                    }
-                }
-            }
-
-            let batch = queue.drain_batch(self.config.batch_size);
-            let (ready, waiting): (Vec<PendingSolve>, Vec<PendingSolve>) =
-                retries.drain(..).partition(|j| j.not_before <= now);
-            retries = waiting;
-            if batch.is_empty() && ready.is_empty() {
-                continue;
-            }
-            let cycle = stats.cycles;
-            stats.cycles += 1;
-            // The whole cycle integrates against one epoch, read once
-            // here; refreshes only land between cycles (above).
-            let epoch = self.deco.store.catalog_epoch();
-            let cycle_start = now;
-            now += self.run_cycle(
-                batch,
-                ready,
-                cycle,
-                cycle_start,
-                epoch,
-                workers,
-                &session.faults,
-                &mut retries,
-                shed_pending,
-                &mut stats,
-                &mut responses,
-            );
-            shed_pending = 0;
-        }
-
-        responses.sort_by_key(|r| r.seq);
-        (responses, stats)
+        serve_trace_backend(self, trace, workers, session)
     }
 }
 
-impl PlanServer {
-    /// Classify, solve, and answer one batch (plus any retry jobs whose
-    /// backoff expired); returns the cycle's deterministic service ticks.
-    #[allow(clippy::too_many_arguments)]
-    fn run_cycle(
-        &mut self,
-        batch: Vec<QueuedRequest>,
-        ready: Vec<PendingSolve>,
-        cycle: u64,
-        cycle_start: f64,
-        epoch: u64,
-        workers: usize,
-        faults: &WorkerFaultPlan,
-        retries: &mut Vec<PendingSolve>,
-        shed_this_round: u64,
-        stats: &mut ServeStats,
-        responses: &mut Vec<PlanResponse>,
-    ) -> f64 {
-        let mut scratch = EvalScratch::new();
-        let mut service = 0.0f64;
-        let mut row = CycleRow {
-            cycle,
-            start_tick: cycle_start,
-            epoch,
-            batch: batch.len() as u64,
-            dispatched: 0,
-            hits: 0,
-            coalesced: 0,
-            crashes: 0,
-            retried: 0,
-            escalated: 0,
-            quarantined: 0,
-            straggler_ticks: 0.0,
-            shed: shed_this_round,
-        };
-
-        // This cycle's solves, keyed canonically: retry jobs whose
-        // backoff expired, then fresh misses from the batch.
-        let mut jobs: BTreeMap<u64, PendingSolve> = ready.into_iter().map(|j| (j.key, j)).collect();
-        let mut fresh_order: Vec<u64> = Vec::new();
-        // (request, key, canonical deadline, answer), assembled across
-        // the cycle and emitted in seq order at the end.
-        let mut answers: Vec<(QueuedRequest, u64, f64, Answer)> = Vec::new();
-
-        // Classification pass, in drain (priority, then seq) order —
-        // which also fixes the cache's LRU refresh order.
-        for qr in batch {
-            stats.requests += 1;
-            if let Err(e) = Self::validate(&qr.request) {
-                stats.rejected_invalid += 1;
-                answers.push((
-                    qr,
-                    0,
-                    0.0,
-                    Answer::Reject {
-                        reason: e.to_string(),
-                        charge_hit: false,
-                    },
-                ));
-                continue;
-            }
-            let cd = canonical_deadline(qr.request.deadline, self.config.deadline_bucket);
-            let key_budget = qr.request.budget_hint.or(self.config.budget.ticks);
-            let key = plan_key(
-                &qr.request.workflow,
-                &self.deco.store,
-                &self.deco.options,
-                cd,
-                qr.request.percentile,
-                key_budget,
-            );
-            if let Some(plan) = self.cache.get(key) {
-                answers.push((
-                    qr,
-                    key,
-                    cd,
-                    Answer::Plan {
-                        plan: Box::new(plan.clone()),
-                        source: PlanSource::Warm,
-                    },
-                ));
-                continue;
-            }
-            if self.quarantine.contains(&key) {
-                let strikes = self
-                    .key_failures
-                    .get(&key)
-                    .copied()
-                    .unwrap_or(self.config.quarantine_threshold);
-                let reason = format!("content key quarantined after {strikes} worker crashes");
-                let (answer, spent, failed) = fallback_answer(
-                    &self.deco,
-                    &qr.request.workflow,
-                    cd,
-                    qr.request.percentile,
-                    &reason,
-                    PlanSource::Quarantined,
-                    &mut scratch,
-                );
-                service += spent;
-                stats.solve_failures += u64::from(failed);
-                answers.push((qr, key, cd, answer));
-                continue;
-            }
-            if let Some(job) = jobs.get_mut(&key) {
-                // Coalesce onto this cycle's solve for the same key
-                // (a fresh sibling or a retry being redispatched now).
-                job.waiters.push(qr);
-                continue;
-            }
-            if let Some(job) = retries.iter_mut().find(|j| j.key == key) {
-                // The key is backing off after a crash: join its waiters
-                // instead of racing a duplicate solve.
-                job.waiters.push(qr);
-                continue;
-            }
-            fresh_order.push(key);
-            jobs.insert(
-                key,
-                PendingSolve {
-                    key,
-                    workflow: qr.request.workflow.clone(),
-                    deadline: cd,
-                    percentile: qr.request.percentile,
-                    budget: SearchBudget::unlimited(), // budgeted below
-                    key_budget,
-                    attempt: 0,
-                    not_before: cycle_start,
-                    waiters: vec![qr],
-                },
-            );
-        }
-
-        // Fair-share the cycle pool across the fresh misses' tenants,
-        // then clamp by the per-request cap and each request's hint.
-        // Retry jobs keep their original (backoff-decremented) budgets.
-        let tenants: Vec<TenantId> = fresh_order
-            .iter()
-            .map(|k| jobs[k].waiters[0].request.tenant)
-            .collect();
-        let shares = fair_share_budgets(self.config.cycle_tick_pool, &tenants);
-        for (key, share) in fresh_order.iter().zip(shares) {
-            let job = jobs.get_mut(key).expect("fresh keys were just inserted");
-            let capped = min_budget(&self.config.budget, &share);
-            job.budget = effective_budget(&capped, job.waiters[0].request.budget_hint);
-        }
-
-        // Draw worker fates by canonical job rank: rank -> virtual worker
-        // -> fate, independent of the physical pool size.
-        let crashed_keys: Vec<u64> = jobs
-            .iter()
-            .enumerate()
-            .filter_map(
-                |(rank, (&key, _))| match faults.fate(cycle, faults.assign(rank)) {
-                    WorkerFate::Crash => Some(key),
-                    WorkerFate::Straggler(delay) => {
-                        service += delay;
-                        row.straggler_ticks += delay;
-                        stats.straggler_ticks += delay;
-                        None
-                    }
-                    WorkerFate::Healthy => None,
-                },
-            )
-            .collect();
-
-        // Crashed solves: strike the key, then quarantine, escalate, or
-        // re-enqueue with capped backoff charged against the budget.
-        for key in crashed_keys {
-            let mut job = jobs
-                .remove(&key)
-                .expect("crashed keys come from the job map");
-            row.crashes += 1;
-            stats.worker_crashes += 1;
-            // The lost attempt burned its budget on a dead worker.
-            service += job.budget.ticks.unwrap_or(0.0);
-            job.attempt += 1;
-            let strikes = {
-                let s = self.key_failures.entry(key).or_insert(0);
-                *s += 1;
-                *s
-            };
-            if strikes >= self.config.quarantine_threshold {
-                self.quarantine.insert(key);
-                let reason = format!("content key quarantined after {strikes} worker crashes");
-                for qr in job.waiters {
-                    let (answer, spent, failed) = fallback_answer(
-                        &self.deco,
-                        &job.workflow,
-                        job.deadline,
-                        job.percentile,
-                        &reason,
-                        PlanSource::Quarantined,
-                        &mut scratch,
-                    );
-                    service += spent;
-                    stats.solve_failures += u64::from(failed);
-                    answers.push((qr, key, job.deadline, answer));
-                }
-            } else if job.attempt >= self.config.retry.max_attempts {
-                stats.escalated += 1;
-                row.escalated += 1;
-                let reason = format!("retries exhausted after {} worker crashes", job.attempt);
-                for qr in job.waiters {
-                    let (answer, spent, failed) = fallback_answer(
-                        &self.deco,
-                        &job.workflow,
-                        job.deadline,
-                        job.percentile,
-                        &reason,
-                        PlanSource::Retried,
-                        &mut scratch,
-                    );
-                    service += spent;
-                    stats.solve_failures += u64::from(failed);
-                    answers.push((qr, key, job.deadline, answer));
-                }
-            } else {
-                stats.retries += 1;
-                let backoff = self.config.retry.backoff(job.attempt);
-                job.not_before = cycle_start + backoff;
-                job.budget = job.budget.minus_ticks(backoff);
-                retries.push(job);
-            }
-        }
-
-        // Dispatch the surviving jobs to the physical pool.
-        let dispatch: Vec<SolveJob> = jobs
-            .values()
-            .map(|job| SolveJob {
-                key: job.key,
-                workflow: job.workflow.clone(),
-                deadline: job.deadline,
-                percentile: job.percentile,
-                budget: job.budget.clone(),
-            })
-            .collect();
-        row.dispatched = dispatch.len() as u64;
-        let solved = self.solve_jobs(dispatch, workers);
-
-        // Integrate in canonical key order: cache updates (and therefore
-        // eviction order and LRU clocks) are independent of which worker
-        // finished first.
-        for (key, (budget, result)) in &solved {
-            match result {
-                Ok(plan) => {
-                    service += plan.provenance.budget_spent;
-                    stats.evictions += self.cache.insert(*key, plan.clone(), epoch) as u64;
-                    self.key_failures.remove(key);
-                }
-                Err(_) => {
-                    stats.solve_failures += 1;
-                    service += budget.ticks.unwrap_or(0.0);
-                }
-            }
-        }
-
-        // Attach each job's waiters to its result, key order.
-        for (key, job) in jobs {
-            let (_, result) = solved
-                .get(&key)
-                .expect("every dispatched key has a solve result");
-            match result {
-                Ok(plan) => {
-                    if job.attempt == 0 {
-                        for (i, qr) in job.waiters.into_iter().enumerate() {
-                            let source = if i == 0 {
-                                PlanSource::Cold
-                            } else {
-                                PlanSource::Coalesced
-                            };
-                            answers.push((
-                                qr,
-                                key,
-                                job.deadline,
-                                Answer::Plan {
-                                    plan: Box::new(plan.clone()),
-                                    source,
-                                },
-                            ));
-                        }
-                    } else {
-                        row.retried += 1;
-                        for qr in job.waiters {
-                            answers.push((
-                                qr,
-                                key,
-                                job.deadline,
-                                Answer::Plan {
-                                    plan: Box::new(plan.clone()),
-                                    source: PlanSource::Retried,
-                                },
-                            ));
-                        }
-                    }
-                }
-                Err(e) => {
-                    for (i, qr) in job.waiters.into_iter().enumerate() {
-                        answers.push((
-                            qr,
-                            key,
-                            job.deadline,
-                            Answer::Reject {
-                                reason: e.to_string(),
-                                charge_hit: i > 0 && job.attempt == 0,
-                            },
-                        ));
-                    }
-                }
-            }
-        }
-
-        // Answer in sequence order (hit ticks are charged here so the
-        // service sum's float-addition order matches the pre-fault
-        // server exactly on quiescent runs).
-        answers.sort_by_key(|(qr, ..)| qr.seq);
-        for (qr, key, cd, answer) in answers {
-            match answer {
-                Answer::Plan { plan, source } => {
-                    match source {
-                        PlanSource::Warm => {
-                            service += self.config.hit_ticks;
-                            stats.hits += 1;
-                            row.hits += 1;
-                        }
-                        PlanSource::Cold => stats.misses += 1,
-                        PlanSource::Coalesced => {
-                            service += self.config.hit_ticks;
-                            stats.coalesced += 1;
-                            row.coalesced += 1;
-                        }
-                        PlanSource::Retried => {}
-                        PlanSource::Quarantined => {
-                            stats.quarantined += 1;
-                            row.quarantined += 1;
-                        }
-                    }
-                    match plan.provenance.stage {
-                        PlanStage::Deco => stats.stage_deco += 1,
-                        PlanStage::Heuristic => stats.stage_heuristic += 1,
-                        PlanStage::Autoscaling => stats.stage_autoscaling += 1,
-                    }
-                    stats.planned += 1;
-                    let wait = cycle_start - qr.arrived_at;
-                    stats.waits.push(wait);
-                    responses.push(PlanResponse {
-                        seq: qr.seq,
-                        tenant: qr.request.tenant,
-                        key,
-                        outcome: ServeOutcome::Planned(Box::new(ServedPlan {
-                            plan: *plan,
-                            source,
-                            wait_ticks: wait,
-                            canonical_deadline: cd,
-                        })),
-                    });
-                }
-                Answer::Reject { reason, charge_hit } => {
-                    if charge_hit {
-                        service += self.config.hit_ticks;
-                    }
-                    responses.push(PlanResponse {
-                        seq: qr.seq,
-                        tenant: qr.request.tenant,
-                        key,
-                        outcome: ServeOutcome::Rejected { reason },
-                    });
-                }
-            }
-        }
-        stats.cycle_rows.push(row);
-        service
+impl ServeBackend for PlanServer {
+    fn deco(&self) -> &Deco {
+        &self.deco
     }
 
-    /// Solve the cycle's unique misses on a scoped worker pool. Results
-    /// land in a `BTreeMap`, so downstream iteration is in key order no
-    /// matter the thread interleaving.
-    #[allow(clippy::type_complexity)]
+    fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    fn cache_get(&mut self, key: u64) -> Option<SupervisedPlan> {
+        self.cache.get(key).cloned()
+    }
+
+    fn cache_insert(&mut self, key: u64, plan: &SupervisedPlan, epoch: u64) -> usize {
+        self.cache.insert(key, plan.clone(), epoch)
+    }
+
+    fn cache_purge_stale(&mut self, epoch: u64) -> usize {
+        self.cache.purge_stale(epoch)
+    }
+
+    fn is_key_quarantined(&self, key: u64) -> bool {
+        self.quarantine.contains(&key)
+    }
+
+    fn strike_count(&self, key: u64) -> Option<u32> {
+        self.key_failures.get(&key).copied()
+    }
+
+    fn add_strike(&mut self, key: u64) -> u32 {
+        let s = self.key_failures.entry(key).or_insert(0);
+        *s += 1;
+        *s
+    }
+
+    fn quarantine_key(&mut self, key: u64) {
+        self.quarantine.insert(key);
+    }
+
+    fn clear_strikes(&mut self, key: u64) {
+        self.key_failures.remove(&key);
+    }
+
     fn solve_jobs(
         &self,
         jobs: Vec<SolveJob>,
         workers: usize,
     ) -> BTreeMap<u64, (SearchBudget, Result<SupervisedPlan, DecoError>)> {
-        if jobs.is_empty() {
-            return BTreeMap::new();
-        }
-        let pool = workers.min(jobs.len());
-        let deco = &self.deco;
-        let (job_tx, job_rx) = crossbeam::channel::unbounded::<SolveJob>();
-        let (res_tx, res_rx) = crossbeam::channel::unbounded::<(
-            u64,
-            (SearchBudget, Result<SupervisedPlan, DecoError>),
-        )>();
-        std::thread::scope(|scope| {
-            for _ in 0..pool {
-                let job_rx = job_rx.clone();
-                let res_tx = res_tx.clone();
-                scope.spawn(move || {
-                    // One reusable scratch per worker; reuse is
-                    // bit-identical to fresh scratch (pinned in
-                    // deco-core's supervisor tests).
-                    let mut scratch = EvalScratch::new();
-                    for job in job_rx.iter() {
-                        let result = plan_with_fallback_scratch(
-                            deco,
-                            &job.workflow,
-                            job.deadline,
-                            job.percentile,
-                            &job.budget,
-                            &mut scratch,
-                        );
-                        if res_tx.send((job.key, (job.budget, result))).is_err() {
-                            break;
-                        }
-                    }
-                });
-            }
-            drop(job_rx);
-            drop(res_tx);
-            for job in jobs {
-                job_tx
-                    .send(job)
-                    .expect("workers outlive the job queue within the scope");
-            }
-            drop(job_tx);
-            res_rx.iter().collect()
-        })
+        solve_jobs_on_pool(&self.deco, jobs, workers)
+    }
+
+    fn refresh_calibration(&mut self, store: MetadataStore) -> (u64, usize) {
+        PlanServer::refresh_calibration(self, store)
     }
 }
 
@@ -1273,5 +1459,118 @@ mod tests {
         assert!(epoch2 > epoch);
         assert_eq!(server.quarantined_keys(), 0);
         assert!(server.key_failures.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_cache_serves_cold_without_panicking() {
+        // Satellite: a misconfigured cache_capacity of 0 fails soft — the
+        // server still answers every request, every one a cold solve.
+        let config = ServeConfig {
+            cache_capacity: 0,
+            ..ServeConfig::default()
+        };
+        let mut server = PlanServer::new(small_deco(), config);
+        let trace = ArrivalTrace::new(vec![
+            Arrival {
+                at_tick: 0.0,
+                request: request(1, 7),
+            },
+            Arrival {
+                at_tick: 1e9,
+                request: request(2, 7), // same key, later: would be warm
+            },
+        ]);
+        let (responses, stats) = server.serve_trace(&trace, 1);
+        assert_eq!(responses.len(), 2);
+        assert_eq!(stats.misses, 2, "nothing is ever cached");
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.evictions, 0, "no phantom evictions");
+        assert_eq!(server.cache_len(), 0);
+    }
+
+    #[test]
+    fn shed_estimate_flag_defaults_off_and_keeps_digests() {
+        // The same overload trace, flag off vs a second server that never
+        // observed a shape cost: identical digests (flag off is the
+        // pre-existing behavior; flag on with no data degrades to it).
+        let base = ServeConfig {
+            queue_capacity: 2,
+            batch_size: 2,
+            ..ServeConfig::default()
+        };
+        let arrivals: Vec<Arrival> = (0..4)
+            .map(|i| Arrival {
+                at_tick: 0.0,
+                request: request(i, 7),
+            })
+            .collect();
+        let trace = ArrivalTrace::new(arrivals);
+        let mut off = PlanServer::new(small_deco(), base.clone());
+        let (resp_off, stats_off) = off.serve_trace(&trace, 1);
+        let mut on = PlanServer::new(
+            small_deco(),
+            ServeConfig {
+                shed_estimate: true,
+                ..base
+            },
+        );
+        let (resp_on, stats_on) = on.serve_trace(&trace, 1);
+        let lines = |rs: &[PlanResponse]| {
+            rs.iter()
+                .map(|r| r.canonical_line())
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(
+            lines(&resp_off),
+            lines(&resp_on),
+            "first-contact overload: no shape data yet, estimate is 0"
+        );
+        assert_eq!(stats_off.digest(), stats_on.digest());
+    }
+
+    #[test]
+    fn shed_estimate_sheds_waiters_that_cannot_fit_one_more_solve() {
+        // Warm up the shape-cost model with one solved shape, then
+        // overload the queue with same-shape requests whose slack is
+        // smaller than the observed solve cost: with the flag on, the
+        // doomed waiter is shed; with it off, the newcomer is rejected
+        // and the waiter is left to miss its deadline.
+        let config = ServeConfig {
+            queue_capacity: 1,
+            batch_size: 1,
+            shed_estimate: true,
+            deadline_bucket: 60.0,
+            ..ServeConfig::default()
+        };
+        let mut server = PlanServer::new(small_deco(), config);
+        let mut tight = request(2, 7);
+        tight.deadline = 70.0; // canonical 60: tighter than one solve
+        let mut tight2 = request(3, 7);
+        tight2.deadline = 70.0;
+        let trace = ArrivalTrace::new(vec![
+            Arrival {
+                at_tick: 0.0,
+                request: request(1, 7), // solves cold, records shape cost
+            },
+            // Arrive while the queue is busy: the second occupies the
+            // 1-slot queue, the third overflows it.
+            Arrival {
+                at_tick: 1.0,
+                request: tight,
+            },
+            Arrival {
+                at_tick: 1.0,
+                request: tight2,
+            },
+        ]);
+        let (responses, stats) = server.serve_trace(&trace, 1);
+        // The first request solved and recorded its shape's cost (well
+        // above 60 canonical ticks for this engine config); the queued
+        // tight-deadline waiter is estimated unmeetable and shed.
+        assert_eq!(stats.shed, 1, "{responses:?}");
+        assert!(responses
+            .iter()
+            .any(|r| matches!(&r.outcome, ServeOutcome::Shed { .. })));
     }
 }

@@ -1,0 +1,844 @@
+//! The durable plan store: an append-only WAL plus snapshot compaction.
+//!
+//! A shard's cache and fault books are reconstructible from two files in
+//! its store directory:
+//!
+//! * `snapshot.bin` — the materialized state as of the last compaction,
+//!   written atomically (temp file + rename) and never appended to;
+//! * `wal.log` — every mutation since that snapshot, one frame per
+//!   cache insert / LRU touch / eviction / strike / quarantine / epoch
+//!   bump, in the order the serving engine issued them.
+//!
+//! Both files share one frame format:
+//!
+//! ```text
+//! [u32 LE body_len][body bytes][u64 LE StableHasher checksum of body]
+//! ```
+//!
+//! The body's first byte is a frame tag; plans inside `Put` frames use
+//! the canonical [`deco_core::encode_supervised_plan`] codec, so a
+//! recovered plan is bit-identical to the one that was cached (f64s
+//! round-trip as raw bits). Recovery replays the snapshot, then the WAL,
+//! and **stops at the first invalid frame**: a torn tail — a frame cut
+//! mid-write by a crash at any byte offset — silently ends the log
+//! instead of poisoning recovery. The store never deletes on supersede:
+//! a later `Put` for the same key simply shadows the earlier one at
+//! replay, and compaction reclaims the dead frames.
+//!
+//! Epoch discipline matches the serving engine's `purge_stale`: an
+//! `Epoch` frame (appended at every calibration refresh) drops every
+//! recovered entry solved under a different epoch and clears the
+//! strike/quarantine books — a new calibration is a new world, on disk
+//! as in memory.
+
+use deco_core::supervisor::SupervisedPlan;
+use deco_core::{decode_supervised_plan, encode_supervised_plan, DecoError};
+use deco_prob::hash::StableHasher;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs::{File, OpenOptions};
+use std::hash::Hasher;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Domain-separation seed for frame checksums.
+const FRAME_DOMAIN: u64 = 0x5E72_ECAC_4E00_0002;
+/// Reject frames claiming bodies larger than this (corrupt length word).
+const MAX_FRAME_BODY: usize = 64 * 1024 * 1024;
+
+const TAG_PUT: u8 = 1;
+const TAG_TOUCH: u8 = 2;
+const TAG_DEL: u8 = 3;
+const TAG_STRIKE: u8 = 4;
+const TAG_CLEAR_KEY: u8 = 5;
+const TAG_QUARANTINE: u8 = 6;
+const TAG_EPOCH: u8 = 7;
+
+/// One durable mutation. The vocabulary mirrors exactly the state a
+/// [`crate::ServeBackend`] keeps per key: the cached plan (with its LRU
+/// stamp and solve epoch), the crash-strike count, and quarantine.
+///
+/// `Put` carries a whole plan and dwarfs the bookkeeping variants; the
+/// asymmetry is inherent to a WAL vocabulary and frames are transient
+/// (encoded immediately), so no boxing.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)]
+pub enum StoreFrame {
+    /// Cache a solved plan. A later `Put` for the same key supersedes —
+    /// the store never rewrites old frames.
+    Put {
+        key: u64,
+        epoch: u64,
+        last_use: u64,
+        plan: SupervisedPlan,
+    },
+    /// Refresh a key's LRU stamp (a warm hit).
+    Touch { key: u64, last_use: u64 },
+    /// Evict a key (LRU eviction or stale purge).
+    Del { key: u64 },
+    /// Record a key's cumulative worker-crash strikes.
+    Strike { key: u64, count: u32 },
+    /// Clear a key's strikes (a successful solve).
+    ClearKey { key: u64 },
+    /// Quarantine a key (answered from fallback until a refresh).
+    Quarantine { key: u64 },
+    /// A calibration refresh: recovery drops entries from other epochs
+    /// and clears the strike/quarantine books.
+    Epoch { epoch: u64 },
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn checksum(body: &[u8]) -> u64 {
+    let mut h = StableHasher::with_seed(FRAME_DOMAIN);
+    h.write(body);
+    h.finish()
+}
+
+impl StoreFrame {
+    /// Serialize the frame body (tag + fields, no length/checksum).
+    fn encode_body(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            StoreFrame::Put {
+                key,
+                epoch,
+                last_use,
+                plan,
+            } => {
+                out.push(TAG_PUT);
+                push_u64(&mut out, *key);
+                push_u64(&mut out, *epoch);
+                push_u64(&mut out, *last_use);
+                let payload = encode_supervised_plan(plan);
+                push_u32(&mut out, payload.len() as u32);
+                out.extend_from_slice(&payload);
+            }
+            StoreFrame::Touch { key, last_use } => {
+                out.push(TAG_TOUCH);
+                push_u64(&mut out, *key);
+                push_u64(&mut out, *last_use);
+            }
+            StoreFrame::Del { key } => {
+                out.push(TAG_DEL);
+                push_u64(&mut out, *key);
+            }
+            StoreFrame::Strike { key, count } => {
+                out.push(TAG_STRIKE);
+                push_u64(&mut out, *key);
+                push_u32(&mut out, *count);
+            }
+            StoreFrame::ClearKey { key } => {
+                out.push(TAG_CLEAR_KEY);
+                push_u64(&mut out, *key);
+            }
+            StoreFrame::Quarantine { key } => {
+                out.push(TAG_QUARANTINE);
+                push_u64(&mut out, *key);
+            }
+            StoreFrame::Epoch { epoch } => {
+                out.push(TAG_EPOCH);
+                push_u64(&mut out, *epoch);
+            }
+        }
+        out
+    }
+
+    /// Serialize the full on-disk frame: length, body, checksum.
+    pub fn encode(&self) -> Vec<u8> {
+        let body = self.encode_body();
+        let mut out = Vec::with_capacity(body.len() + 12);
+        push_u32(&mut out, body.len() as u32);
+        out.extend_from_slice(&body);
+        push_u64(&mut out, checksum(&body));
+        out
+    }
+
+    /// Parse one frame body. `None` on any structural defect (unknown
+    /// tag, short fields, bad plan payload) — recovery treats that frame
+    /// and everything after it as torn.
+    fn decode_body(body: &[u8]) -> Option<StoreFrame> {
+        let mut r = FrameReader { buf: body, pos: 0 };
+        let tag = r.u8()?;
+        let frame = match tag {
+            TAG_PUT => {
+                let key = r.u64()?;
+                let epoch = r.u64()?;
+                let last_use = r.u64()?;
+                let len = r.u32()? as usize;
+                let payload = r.bytes(len)?;
+                let plan = decode_supervised_plan(payload).ok()?;
+                StoreFrame::Put {
+                    key,
+                    epoch,
+                    last_use,
+                    plan,
+                }
+            }
+            TAG_TOUCH => StoreFrame::Touch {
+                key: r.u64()?,
+                last_use: r.u64()?,
+            },
+            TAG_DEL => StoreFrame::Del { key: r.u64()? },
+            TAG_STRIKE => StoreFrame::Strike {
+                key: r.u64()?,
+                count: r.u32()?,
+            },
+            TAG_CLEAR_KEY => StoreFrame::ClearKey { key: r.u64()? },
+            TAG_QUARANTINE => StoreFrame::Quarantine { key: r.u64()? },
+            TAG_EPOCH => StoreFrame::Epoch { epoch: r.u64()? },
+            _ => return None,
+        };
+        if r.pos != body.len() {
+            return None; // trailing bytes: not a frame we wrote
+        }
+        Some(frame)
+    }
+}
+
+struct FrameReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FrameReader<'a> {
+    fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        self.bytes(1).map(|b| b[0])
+    }
+    fn u32(&mut self) -> Option<u32> {
+        self.bytes(4).map(|b| {
+            let mut a = [0u8; 4];
+            a.copy_from_slice(b);
+            u32::from_le_bytes(a)
+        })
+    }
+    fn u64(&mut self) -> Option<u64> {
+        self.bytes(8).map(|b| {
+            let mut a = [0u8; 8];
+            a.copy_from_slice(b);
+            u64::from_le_bytes(a)
+        })
+    }
+}
+
+/// A cache entry reconstructed from the log.
+#[derive(Debug, Clone)]
+pub struct RecoveredEntry {
+    pub plan: SupervisedPlan,
+    /// Catalog epoch the plan was solved under.
+    pub epoch: u64,
+    /// LRU stamp at the time of the last persisted touch.
+    pub last_use: u64,
+}
+
+/// Everything a shard needs to resume serving warm: the cache entries,
+/// the fault books, and the epoch the log ended in. Entries are keyed
+/// canonically (`BTreeMap`), so a warm-started shard walks its state in
+/// the same order a never-restarted one would.
+#[derive(Debug, Default)]
+pub struct RecoveredState {
+    /// The last epoch recorded in the log (0 if none was).
+    pub epoch: u64,
+    pub entries: BTreeMap<u64, RecoveredEntry>,
+    pub strikes: BTreeMap<u64, u32>,
+    pub quarantine: BTreeSet<u64>,
+}
+
+impl RecoveredState {
+    fn apply(&mut self, frame: StoreFrame) {
+        match frame {
+            StoreFrame::Put {
+                key,
+                epoch,
+                last_use,
+                plan,
+            } => {
+                // Supersede, never rewrite: the latest Put wins.
+                self.entries.insert(
+                    key,
+                    RecoveredEntry {
+                        plan,
+                        epoch,
+                        last_use,
+                    },
+                );
+            }
+            StoreFrame::Touch { key, last_use } => {
+                if let Some(e) = self.entries.get_mut(&key) {
+                    e.last_use = last_use;
+                }
+            }
+            StoreFrame::Del { key } => {
+                self.entries.remove(&key);
+            }
+            StoreFrame::Strike { key, count } => {
+                self.strikes.insert(key, count);
+            }
+            StoreFrame::ClearKey { key } => {
+                self.strikes.remove(&key);
+            }
+            StoreFrame::Quarantine { key } => {
+                self.quarantine.insert(key);
+            }
+            StoreFrame::Epoch { epoch } => {
+                // A refresh is a new world: stale entries and the books
+                // do not survive it (mirrors `refresh_calibration`).
+                self.epoch = epoch;
+                self.entries.retain(|_, e| e.epoch == epoch);
+                self.strikes.clear();
+                self.quarantine.clear();
+            }
+        }
+    }
+
+    /// The frames that reproduce this state verbatim — what compaction
+    /// writes into a snapshot. Key order throughout, epoch first.
+    pub fn to_frames(&self) -> Vec<StoreFrame> {
+        let mut frames = Vec::with_capacity(1 + self.entries.len() + self.strikes.len());
+        frames.push(StoreFrame::Epoch { epoch: self.epoch });
+        for (&key, e) in &self.entries {
+            frames.push(StoreFrame::Put {
+                key,
+                epoch: e.epoch,
+                last_use: e.last_use,
+                plan: e.plan.clone(),
+            });
+        }
+        for (&key, &count) in &self.strikes {
+            frames.push(StoreFrame::Strike { key, count });
+        }
+        for &key in &self.quarantine {
+            frames.push(StoreFrame::Quarantine { key });
+        }
+        frames
+    }
+}
+
+/// Counters describing the store's life so far; surfaced through the
+/// shard tier's stats so recovery behavior is observable in tests and
+/// benches.
+#[derive(Debug, Default, Clone)]
+pub struct StoreStats {
+    /// WAL frames appended since open.
+    pub appends: u64,
+    /// Valid frames replayed by the last `recover` (snapshot + WAL).
+    pub frames_recovered: u64,
+    /// Bytes discarded from a torn WAL/snapshot tail at last `recover`.
+    pub torn_bytes: u64,
+    /// Snapshot compactions performed.
+    pub snapshots: u64,
+    /// Entries alive after the last `recover`'s epoch filtering.
+    pub entries_recovered: u64,
+    /// Entries dropped by the final epoch filter at last `recover`.
+    pub stale_dropped: u64,
+}
+
+fn store_err(what: &str, path: &Path, e: impl std::fmt::Display) -> DecoError {
+    DecoError::Store(format!("{what} {}: {e}", path.display()))
+}
+
+/// The WAL-backed durable plan store for one shard.
+///
+/// All I/O failures surface as [`DecoError::Store`]; the shard tier
+/// responds by dropping to memory-only operation (degraded, logged in
+/// its stats) rather than panicking — persistence is an availability
+/// feature and must never become an unavailability one.
+pub struct PlanStore {
+    dir: PathBuf,
+    wal: File,
+    stats: StoreStats,
+}
+
+impl PlanStore {
+    /// Open (creating if needed) the store rooted at `dir`.
+    pub fn open(dir: &Path) -> Result<PlanStore, DecoError> {
+        std::fs::create_dir_all(dir).map_err(|e| store_err("create store dir", dir, e))?;
+        let wal_path = dir.join("wal.log");
+        let wal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&wal_path)
+            .map_err(|e| store_err("open WAL", &wal_path, e))?;
+        Ok(PlanStore {
+            dir: dir.to_path_buf(),
+            wal,
+            stats: StoreStats::default(),
+        })
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    pub fn stats(&self) -> &StoreStats {
+        &self.stats
+    }
+
+    fn wal_path(&self) -> PathBuf {
+        self.dir.join("wal.log")
+    }
+
+    fn snapshot_path(&self) -> PathBuf {
+        self.dir.join("snapshot.bin")
+    }
+
+    /// Append one frame to the WAL.
+    pub fn append(&mut self, frame: &StoreFrame) -> Result<(), DecoError> {
+        let bytes = frame.encode();
+        let path = self.wal_path();
+        self.wal
+            .write_all(&bytes)
+            .map_err(|e| store_err("append to WAL", &path, e))?;
+        self.wal
+            .flush()
+            .map_err(|e| store_err("flush WAL", &path, e))?;
+        self.stats.appends += 1;
+        Ok(())
+    }
+
+    /// Current WAL size in bytes (compaction trigger input).
+    pub fn wal_len(&self) -> u64 {
+        self.wal.metadata().map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// Scan one log file, applying every valid frame in order and
+    /// stopping at the first torn or corrupt one. Returns the frames
+    /// applied; missing files count as empty logs.
+    fn replay_file(
+        path: &Path,
+        state: &mut RecoveredState,
+        stats: &mut StoreStats,
+    ) -> Result<(), DecoError> {
+        let mut file = match File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(store_err("open log", path, e)),
+        };
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)
+            .map_err(|e| store_err("read log", path, e))?;
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let frame = Self::frame_at(&buf, pos);
+            match frame {
+                Some((frame, next)) => {
+                    state.apply(frame);
+                    stats.frames_recovered += 1;
+                    pos = next;
+                }
+                None => {
+                    // Torn tail: a crash mid-append. Everything from
+                    // here on is discarded, not an error.
+                    stats.torn_bytes += (buf.len() - pos) as u64;
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Decode the frame starting at `pos`; `None` if it is torn,
+    /// corrupt, or claims an absurd length.
+    fn frame_at(buf: &[u8], pos: usize) -> Option<(StoreFrame, usize)> {
+        let remaining = buf.len().checked_sub(pos)?;
+        if remaining < 4 {
+            return None;
+        }
+        let mut len_bytes = [0u8; 4];
+        len_bytes.copy_from_slice(&buf[pos..pos + 4]);
+        let body_len = u32::from_le_bytes(len_bytes) as usize;
+        if body_len > MAX_FRAME_BODY {
+            return None;
+        }
+        let body_start = pos + 4;
+        let body_end = body_start.checked_add(body_len)?;
+        let sum_end = body_end.checked_add(8)?;
+        if sum_end > buf.len() {
+            return None;
+        }
+        let body = &buf[body_start..body_end];
+        let mut sum_bytes = [0u8; 8];
+        sum_bytes.copy_from_slice(&buf[body_end..sum_end]);
+        if u64::from_le_bytes(sum_bytes) != checksum(body) {
+            return None;
+        }
+        StoreFrame::decode_body(body).map(|f| (f, sum_end))
+    }
+
+    /// Reconstruct the shard state: replay `snapshot.bin`, then
+    /// `wal.log`, tolerating a torn tail in either; finally drop any
+    /// entry whose epoch disagrees with the log's last recorded epoch
+    /// (when one was recorded).
+    pub fn recover(&mut self) -> Result<RecoveredState, DecoError> {
+        self.stats.frames_recovered = 0;
+        self.stats.torn_bytes = 0;
+        let mut state = RecoveredState::default();
+        let snapshot = self.snapshot_path();
+        let wal = self.wal_path();
+        let mut stats = std::mem::take(&mut self.stats);
+        let result = Self::replay_file(&snapshot, &mut state, &mut stats)
+            .and_then(|_| Self::replay_file(&wal, &mut state, &mut stats));
+        self.stats = stats;
+        result?;
+        if state.epoch != 0 {
+            let before = state.entries.len();
+            state.entries.retain(|_, e| e.epoch == state.epoch);
+            self.stats.stale_dropped += (before - state.entries.len()) as u64;
+        }
+        self.stats.entries_recovered = state.entries.len() as u64;
+        Ok(state)
+    }
+
+    /// Compact: atomically write `frames` as the new snapshot (temp file
+    /// + rename), then truncate the WAL — its content is now redundant.
+    pub fn compact(&mut self, frames: &[StoreFrame]) -> Result<(), DecoError> {
+        let tmp = self.dir.join("snapshot.tmp");
+        {
+            let mut f = File::create(&tmp).map_err(|e| store_err("create snapshot", &tmp, e))?;
+            for frame in frames {
+                f.write_all(&frame.encode())
+                    .map_err(|e| store_err("write snapshot", &tmp, e))?;
+            }
+            f.sync_all()
+                .map_err(|e| store_err("sync snapshot", &tmp, e))?;
+        }
+        let snapshot = self.snapshot_path();
+        std::fs::rename(&tmp, &snapshot)
+            .map_err(|e| store_err("publish snapshot", &snapshot, e))?;
+        let wal_path = self.wal_path();
+        self.wal
+            .set_len(0)
+            .map_err(|e| store_err("truncate WAL", &wal_path, e))?;
+        self.wal
+            .seek(SeekFrom::Start(0))
+            .map_err(|e| store_err("rewind WAL", &wal_path, e))?;
+        self.stats.snapshots += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deco_cloud::{CloudSpec, MetadataStore};
+    use deco_core::supervisor::plan_with_fallback;
+    use deco_core::Deco;
+    use deco_solver::SearchBudget;
+    use deco_workflow::generators;
+
+    fn temp_store_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("deco_store_{}_{}", std::process::id(), name));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn plan(marker: u64) -> SupervisedPlan {
+        let st = MetadataStore::from_ground_truth(CloudSpec::amazon_ec2(), 20);
+        let mut d = Deco::new(st);
+        d.options.mc_iters = 10;
+        d.options.search.max_states = 40;
+        let wf = generators::pipeline(2, 50.0, 0);
+        let (dmin, dmax) = deco_core::estimate::deadline_anchors(&wf, &d.store.spec);
+        let mut p = plan_with_fallback(
+            &d,
+            &wf,
+            0.5 * (dmin + dmax),
+            0.9,
+            &SearchBudget::unlimited(),
+        )
+        .expect("feasible");
+        p.provenance.budget_spent += marker as f64;
+        p
+    }
+
+    #[test]
+    fn empty_and_missing_logs_recover_to_an_empty_state() {
+        let dir = temp_store_dir("empty");
+        let mut store = PlanStore::open(&dir).unwrap();
+        // Nothing written at all: both files missing (WAL exists but is
+        // zero bytes).
+        let state = store.recover().unwrap();
+        assert_eq!(state.entries.len(), 0);
+        assert_eq!(state.epoch, 0);
+        assert!(state.strikes.is_empty() && state.quarantine.is_empty());
+        assert_eq!(store.stats().frames_recovered, 0);
+        assert_eq!(store.stats().torn_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn round_trips_every_frame_kind_through_the_wal() {
+        let dir = temp_store_dir("round_trip");
+        let p = plan(7);
+        {
+            let mut store = PlanStore::open(&dir).unwrap();
+            store
+                .append(&StoreFrame::Epoch { epoch: 3 })
+                .and_then(|_| {
+                    store.append(&StoreFrame::Put {
+                        key: 11,
+                        epoch: 3,
+                        last_use: 1,
+                        plan: p.clone(),
+                    })
+                })
+                .and_then(|_| {
+                    store.append(&StoreFrame::Put {
+                        key: 12,
+                        epoch: 3,
+                        last_use: 2,
+                        plan: p.clone(),
+                    })
+                })
+                .and_then(|_| {
+                    store.append(&StoreFrame::Touch {
+                        key: 11,
+                        last_use: 5,
+                    })
+                })
+                .and_then(|_| store.append(&StoreFrame::Del { key: 12 }))
+                .and_then(|_| store.append(&StoreFrame::Strike { key: 13, count: 2 }))
+                .and_then(|_| store.append(&StoreFrame::Strike { key: 14, count: 1 }))
+                .and_then(|_| store.append(&StoreFrame::ClearKey { key: 14 }))
+                .and_then(|_| store.append(&StoreFrame::Quarantine { key: 13 }))
+                .unwrap();
+        }
+        let mut store = PlanStore::open(&dir).unwrap();
+        let state = store.recover().unwrap();
+        assert_eq!(state.epoch, 3);
+        assert_eq!(state.entries.len(), 1, "12 was deleted");
+        let e = &state.entries[&11];
+        assert_eq!(e.last_use, 5, "touch superseded the put's stamp");
+        assert_eq!(e.epoch, 3);
+        // Bit-identical plan payload through the codec.
+        assert_eq!(
+            e.plan.provenance.budget_spent.to_bits(),
+            p.provenance.budget_spent.to_bits()
+        );
+        assert_eq!(
+            e.plan.plan.evaluation.objective.to_bits(),
+            p.plan.evaluation.objective.to_bits()
+        );
+        assert_eq!(state.strikes.get(&13), Some(&2));
+        assert!(!state.strikes.contains_key(&14), "cleared");
+        assert!(state.quarantine.contains(&13));
+        assert_eq!(store.stats().torn_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_key_is_superseded_by_the_latest_put() {
+        let dir = temp_store_dir("supersede");
+        let p1 = plan(1);
+        let p2 = plan(2);
+        {
+            let mut store = PlanStore::open(&dir).unwrap();
+            store
+                .append(&StoreFrame::Put {
+                    key: 42,
+                    epoch: 1,
+                    last_use: 1,
+                    plan: p1,
+                })
+                .and_then(|_| {
+                    store.append(&StoreFrame::Put {
+                        key: 42,
+                        epoch: 1,
+                        last_use: 9,
+                        plan: p2.clone(),
+                    })
+                })
+                .unwrap();
+        }
+        let mut store = PlanStore::open(&dir).unwrap();
+        let state = store.recover().unwrap();
+        assert_eq!(state.entries.len(), 1);
+        let e = &state.entries[&42];
+        assert_eq!(e.last_use, 9);
+        assert_eq!(
+            e.plan.provenance.budget_spent.to_bits(),
+            p2.provenance.budget_spent.to_bits(),
+            "the later Put wins"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn epoch_stale_entries_are_dropped_at_recovery() {
+        let dir = temp_store_dir("epoch_stale");
+        {
+            let mut store = PlanStore::open(&dir).unwrap();
+            store
+                .append(&StoreFrame::Put {
+                    key: 1,
+                    epoch: 1,
+                    last_use: 1,
+                    plan: plan(1),
+                })
+                .and_then(|_| store.append(&StoreFrame::Strike { key: 9, count: 3 }))
+                .and_then(|_| store.append(&StoreFrame::Quarantine { key: 9 }))
+                .and_then(|_| store.append(&StoreFrame::Epoch { epoch: 2 }))
+                .and_then(|_| {
+                    store.append(&StoreFrame::Put {
+                        key: 2,
+                        epoch: 2,
+                        last_use: 2,
+                        plan: plan(2),
+                    })
+                })
+                .unwrap();
+        }
+        let mut store = PlanStore::open(&dir).unwrap();
+        let state = store.recover().unwrap();
+        assert_eq!(state.epoch, 2);
+        assert!(
+            !state.entries.contains_key(&1),
+            "epoch-1 entry dropped by the epoch-2 refresh"
+        );
+        assert!(state.entries.contains_key(&2));
+        assert!(
+            state.strikes.is_empty() && state.quarantine.is_empty(),
+            "refresh clears the books on disk as in memory"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_final_frame_is_tolerated_at_every_byte_offset() {
+        let dir = temp_store_dir("torn");
+        let p = plan(5);
+        {
+            let mut store = PlanStore::open(&dir).unwrap();
+            store
+                .append(&StoreFrame::Put {
+                    key: 1,
+                    epoch: 1,
+                    last_use: 1,
+                    plan: p.clone(),
+                })
+                .and_then(|_| store.append(&StoreFrame::Strike { key: 2, count: 1 }))
+                .unwrap();
+        }
+        let wal = dir.join("wal.log");
+        let full = std::fs::read(&wal).unwrap();
+        let first_len = {
+            // Recompute the first frame's on-disk size.
+            let frame = StoreFrame::Put {
+                key: 1,
+                epoch: 1,
+                last_use: 1,
+                plan: p,
+            };
+            frame.encode().len()
+        };
+        assert!(first_len < full.len());
+        // Truncate the log inside the SECOND frame at every byte offset:
+        // the first frame must always survive, the torn tail never errors.
+        for cut in first_len..full.len() {
+            std::fs::write(&wal, &full[..cut]).unwrap();
+            let mut store = PlanStore::open(&dir).unwrap();
+            let state = store.recover().unwrap();
+            assert!(
+                state.entries.contains_key(&1),
+                "first frame must survive a cut at {cut}"
+            );
+            if cut == full.len() {
+                assert_eq!(state.strikes.get(&2), Some(&1));
+            } else {
+                assert!(
+                    state.strikes.is_empty(),
+                    "partial second frame must be discarded (cut at {cut})"
+                );
+                assert_eq!(store.stats().torn_bytes, (cut - first_len) as u64);
+            }
+        }
+        // And a cut INSIDE the first frame leaves an empty (but valid)
+        // recovery.
+        for cut in [0usize, 1, 4, first_len / 2, first_len - 1] {
+            std::fs::write(&wal, &full[..cut]).unwrap();
+            let mut store = PlanStore::open(&dir).unwrap();
+            let state = store.recover().unwrap();
+            assert!(state.entries.is_empty(), "cut at {cut} inside frame 1");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checksum_ends_replay_at_the_bad_frame() {
+        let dir = temp_store_dir("corrupt");
+        {
+            let mut store = PlanStore::open(&dir).unwrap();
+            store
+                .append(&StoreFrame::Strike { key: 1, count: 1 })
+                .and_then(|_| store.append(&StoreFrame::Strike { key: 2, count: 2 }))
+                .and_then(|_| store.append(&StoreFrame::Strike { key: 3, count: 3 }))
+                .unwrap();
+        }
+        let wal = dir.join("wal.log");
+        let mut bytes = std::fs::read(&wal).unwrap();
+        let frame_len = bytes.len() / 3;
+        // Flip one byte in the second frame's body.
+        bytes[frame_len + 6] ^= 0xFF;
+        std::fs::write(&wal, &bytes).unwrap();
+        let mut store = PlanStore::open(&dir).unwrap();
+        let state = store.recover().unwrap();
+        assert_eq!(state.strikes.get(&1), Some(&1), "frame 1 survives");
+        assert!(
+            !state.strikes.contains_key(&2) && !state.strikes.contains_key(&3),
+            "corruption ends replay: frames 2 and 3 discarded"
+        );
+        assert_eq!(store.stats().torn_bytes, (frame_len * 2) as u64);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_snapshots_state_and_truncates_the_wal() {
+        let dir = temp_store_dir("compact");
+        let p = plan(3);
+        let mut store = PlanStore::open(&dir).unwrap();
+        store
+            .append(&StoreFrame::Epoch { epoch: 1 })
+            .and_then(|_| {
+                store.append(&StoreFrame::Put {
+                    key: 5,
+                    epoch: 1,
+                    last_use: 4,
+                    plan: p.clone(),
+                })
+            })
+            .and_then(|_| store.append(&StoreFrame::Quarantine { key: 6 }))
+            .unwrap();
+        let state = store.recover().unwrap();
+        assert!(store.wal_len() > 0);
+        store.compact(&state.to_frames()).unwrap();
+        assert_eq!(store.wal_len(), 0, "WAL truncated after snapshot");
+        // Append one post-snapshot delta, then recover fresh: snapshot +
+        // WAL compose.
+        store
+            .append(&StoreFrame::Strike { key: 7, count: 1 })
+            .unwrap();
+        let mut store2 = PlanStore::open(&dir).unwrap();
+        let state2 = store2.recover().unwrap();
+        assert_eq!(state2.epoch, 1);
+        assert_eq!(state2.entries[&5].last_use, 4);
+        assert!(state2.quarantine.contains(&6));
+        assert_eq!(state2.strikes.get(&7), Some(&1));
+        assert_eq!(store2.stats().snapshots, 0);
+        assert_eq!(store.stats().snapshots, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -15,6 +15,8 @@
 //! * [`engine`] — the Deco engine proper (the paper's contribution).
 //! * [`serve`] — the multi-tenant plan-serving engine (admission queue,
 //!   content-addressed plan cache, batched solver workers).
+//! * [`shard`] — the sharded, persistent serving tier (key-range shard
+//!   routing, per-shard pools, WAL-backed warm restarts).
 //! * [`pegasus`] — the workflow management system integration.
 
 pub use deco_baselines as baselines;
@@ -25,6 +27,7 @@ pub use deco_gpu as gpu;
 pub use deco_pegasus as pegasus;
 pub use deco_prob as prob;
 pub use deco_serve as serve;
+pub use deco_shard as shard;
 pub use deco_solver as solver;
 pub use deco_wlog as wlog;
 pub use deco_workflow as workflow;
